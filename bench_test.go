@@ -1,0 +1,304 @@
+// Package radqec's root benchmark harness: one benchmark per figure of
+// the paper's evaluation (regenerating the same series at reduced shot
+// counts so `go test -bench` stays tractable), plus the ablation benches
+// for the design choices called out in DESIGN.md and microbenches for
+// the hot substrates.
+//
+// Regenerate any figure at paper-scale statistics with the CLI, e.g.:
+//
+//	go run ./cmd/radqec -shots 20000 fig6
+package radqec
+
+import (
+	"testing"
+
+	"radqec/internal/arch"
+	"radqec/internal/core"
+	"radqec/internal/exp"
+	"radqec/internal/inject"
+	"radqec/internal/matching"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+)
+
+// benchCfg returns a reduced configuration that still exercises every
+// code path of the experiment.
+func benchCfg(shots int) exp.Config {
+	return exp.Config{Shots: shots, Seed: 1, NS: 4}
+}
+
+func BenchmarkFig3TemporalDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig3(benchCfg(1)); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig4SpatialDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig4(benchCfg(1)); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5Landscape(b *testing.B) {
+	b.Run("rep", func(b *testing.B) {
+		sim := mustSim(b, core.Options{
+			Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 5},
+			Topology: "mesh", Shots: 50, Seed: 1, TemporalSamples: 4,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Strike(exp.Fig5Root)
+		}
+	})
+	b.Run("xxzz", func(b *testing.B) {
+		sim := mustSim(b, core.Options{
+			Code:     core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 3},
+			Topology: "mesh", Shots: 50, Seed: 1, TemporalSamples: 4,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Strike(exp.Fig5Root)
+		}
+	})
+}
+
+func BenchmarkFig6Distance(b *testing.B) {
+	b.Run("rep", func(b *testing.B) {
+		sim := mustSim(b, core.Options{
+			Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 15},
+			Topology: "mesh", Shots: 50, Seed: 1,
+		})
+		roots := sim.UsedQubits()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.StrikeAtImpact(roots[i%len(roots)], false)
+		}
+	})
+	b.Run("xxzz", func(b *testing.B) {
+		sim := mustSim(b, core.Options{
+			Code:     core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 5},
+			Topology: "mesh", Shots: 50, Seed: 1,
+		})
+		roots := sim.UsedQubits()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.StrikeAtImpact(roots[i%len(roots)], false)
+		}
+	})
+}
+
+func BenchmarkFig7Spread(b *testing.B) {
+	run := func(b *testing.B, spec core.CodeSpec, k int) {
+		sim := mustSim(b, core.Options{
+			Code: spec, Topology: "mesh", Shots: 50, Seed: 1,
+		})
+		src := rng.New(2)
+		subs := sim.Transpiled().Topo.Graph.SampleConnectedSubgraphs(k, 8, src)
+		if len(subs) == 0 {
+			b.Fatal("no subgraphs")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Erase(subs[i%len(subs)])
+		}
+	}
+	b.Run("rep", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyRepetition, DZ: 15}, 15)
+	})
+	b.Run("xxzz", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 3}, 9)
+	})
+}
+
+func BenchmarkFig8Architecture(b *testing.B) {
+	run := func(b *testing.B, spec core.CodeSpec, topo string) {
+		sim := mustSim(b, core.Options{
+			Code: spec, Topology: topo, Shots: 25, Seed: 1, TemporalSamples: 3,
+		})
+		roots := sim.UsedQubits()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Strike(roots[i%len(roots)]).Median()
+		}
+	}
+	b.Run("rep/linear", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyRepetition, DZ: 11}, "linear")
+	})
+	b.Run("rep/brooklyn", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyRepetition, DZ: 11}, "brooklyn")
+	})
+	b.Run("xxzz/mesh", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 3}, "mesh")
+	})
+	b.Run("xxzz/cairo", func(b *testing.B) {
+		run(b, core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 3}, "cairo")
+	})
+}
+
+// Ablation benches (DESIGN.md): decoder choice, temporal resolution,
+// layout strategy.
+
+func BenchmarkAblationDecoder(b *testing.B) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	ev := noise.NewRadiationEvent(dist[2], 1.0, true)
+	ex := inject.NewExecutor(tr.Circuit, noise.NewDepolarizing(0.01), ev)
+	bits := ex.Run(rng.New(3))
+	b.Run("blossom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = code.Decode(bits)
+		}
+	})
+	b.Run("union-find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = code.DecodeUnionFind(bits)
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = code.DecodeGreedy(bits)
+		}
+	})
+}
+
+func BenchmarkAblationNs(b *testing.B) {
+	for _, ns := range []int{5, 10, 20} {
+		b.Run(nsName(ns), func(b *testing.B) {
+			sim := mustSim(b, core.Options{
+				Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 5},
+				Topology: "mesh", Shots: 25, Seed: 1, TemporalSamples: ns,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sim.Strike(2)
+			}
+		})
+	}
+}
+
+func nsName(ns int) string {
+	switch ns {
+	case 5:
+		return "ns5"
+	case 10:
+		return "ns10"
+	default:
+		return "ns20"
+	}
+}
+
+func BenchmarkAblationRouter(b *testing.B) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := arch.Cairo()
+	b.Run("compact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arch.TranspileWithLayout(code.Circ, topo, arch.LayoutCompact); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trivial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arch.TranspileWithLayout(code.Circ, topo, arch.LayoutTrivial); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Microbenches for the hot substrates.
+
+func BenchmarkShotRepetition15(b *testing.B) {
+	code, err := qec.NewRepetition(15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	ev := noise.NewRadiationEvent(dist[12], 1.0, true)
+	ex := inject.NewExecutor(tr.Circuit, noise.NewDepolarizing(0.01), ev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits := ex.Run(rng.New(uint64(i)))
+		_ = code.Decode(bits)
+	}
+}
+
+func BenchmarkShotXXZZ33(b *testing.B) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	ev := noise.NewRadiationEvent(dist[2], 1.0, true)
+	ex := inject.NewExecutor(tr.Circuit, noise.NewDepolarizing(0.01), ev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits := ex.Run(rng.New(uint64(i)))
+		_ = code.Decode(bits)
+	}
+}
+
+func BenchmarkTranspileBrooklyn(b *testing.B) {
+	code, err := qec.NewRepetition(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := arch.Brooklyn()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.Transpile(code.Circ, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchingDecoderGraph(b *testing.B) {
+	// A dense 24-defect matching instance, representative of heavy
+	// corruption on the distance-(15,1) repetition code.
+	src := rng.New(5)
+	n := 48
+	var edges []matching.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, matching.Edge{I: i, J: j, W: int64(src.Intn(12))})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matching.MinWeightPerfectMatching(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustSim(b *testing.B, opts core.Options) *core.Simulator {
+	b.Helper()
+	sim, err := core.NewSimulator(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}

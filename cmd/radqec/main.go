@@ -1,0 +1,134 @@
+// Command radqec regenerates the tables behind every figure of the
+// paper's evaluation (Figures 3-8) plus the ablation studies.
+//
+// Usage:
+//
+//	radqec [flags] <experiment>
+//
+// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig8summary
+// ablation-decoder ablation-ns ablation-layout all
+//
+// Flags:
+//
+//	-shots N     shots per measured point (default 2000)
+//	-seed N      campaign seed (default 1)
+//	-workers N   parallel shot runners (default GOMAXPROCS)
+//	-p RATE      intrinsic physical error rate (default 0.01)
+//	-ns N        temporal samples of the fault decay (default 10)
+//	-csv         emit CSV instead of aligned text
+//	-o FILE      write to FILE instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"radqec/internal/exp"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(exp.Config) (*exp.Table, error)
+}
+
+func experiments() []experiment {
+	wrap := func(f func(exp.Config) *exp.Table) func(exp.Config) (*exp.Table, error) {
+		return func(c exp.Config) (*exp.Table, error) { return f(c), nil }
+	}
+	return []experiment{
+		{"fig3", "temporal decay T(t) and its step approximation", wrap(exp.Fig3)},
+		{"fig4", "spatial decay S(d) over architecture distance", wrap(exp.Fig4)},
+		{"fig5", "logical error landscape: noise x radiation", exp.Fig5},
+		{"fig6", "criticality by code distance (single erasure)", exp.Fig6},
+		{"fig7", "correlated spread vs independent erasures", exp.Fig7},
+		{"fig8", "per-qubit criticality across architectures", exp.Fig8},
+		{"fig8summary", "architecture comparison summary", exp.Fig8Summary},
+		{"ablation-decoder", "blossom vs union-find vs greedy decoding", exp.AblationDecoder},
+		{"ablation-ns", "temporal sample count sweep", exp.AblationTemporalSamples},
+		{"ablation-layout", "initial layout strategy", exp.AblationLayout},
+		{"ablation-rounds", "stabilization round count sweep", exp.AblationRounds},
+		{"threshold", "intrinsic-noise baseline by distance (no radiation)", exp.Threshold},
+		{"logical", "post-QEC logical-layer fault injection (future work)", exp.LogicalLayer},
+	}
+}
+
+func main() {
+	shots := flag.Int("shots", 2000, "shots per measured point")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 0, "parallel shot runners (0 = GOMAXPROCS)")
+	p := flag.Float64("p", 0.01, "intrinsic physical error rate")
+	ns := flag.Int("ns", 10, "temporal samples of the fault decay")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	outPath := flag.String("o", "", "write output to file instead of stdout")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	cfg := exp.Config{
+		Shots:   *shots,
+		Seed:    *seed,
+		Workers: *workers,
+		P:       *p,
+		NS:      *ns,
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var selected []experiment
+	for _, e := range experiments() {
+		if e.name == name || name == "all" {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "radqec: unknown experiment %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			tab.WriteCSV(out)
+		} else {
+			tab.WriteText(out)
+			fmt.Fprintf(out, "(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: radqec [flags] <experiment>\n\nexperiments:\n")
+	exps := experiments()
+	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-18s %s\n\nflags:\n", "all", "run every experiment")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "radqec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Archcompare transpiles the distance-(3,3) XXZZ code onto several
+// hardware topologies and reports routing overhead and radiation
+// resilience per device, in the spirit of the paper's Figure 8b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radqec/internal/core"
+	"radqec/internal/stats"
+)
+
+func main() {
+	topologies := []string{"complete", "mesh", "almaden", "johannesburg", "cairo", "cambridge", "brooklyn", "linear"}
+
+	fmt.Printf("%-14s %8s %10s %12s %12s\n",
+		"architecture", "swaps", "2q gates", "median err", "worst qubit")
+	for _, name := range topologies {
+		sim, err := core.NewSimulator(core.Options{
+			Code:            core.CodeSpec{Family: core.FamilyXXZZ, DZ: 3, DX: 3},
+			Topology:        name,
+			Shots:           400,
+			Seed:            7,
+			TemporalSamples: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var medians []float64
+		for _, root := range sim.UsedQubits() {
+			medians = append(medians, sim.Strike(root).Median())
+		}
+		_, worst := stats.MinMax(medians)
+		fmt.Printf("%-14s %8d %10d %11.2f%% %11.2f%%\n",
+			name, sim.Transpiled().SwapCount, sim.Transpiled().Circuit.CountTwoQubit(),
+			100*stats.Median(medians), 100*worst)
+	}
+	fmt.Println("\nDegree-starved devices (linear) pay for the XXZZ code's degree-4")
+	fmt.Println("stabilizers with SWAP chains that widen the fault surface")
+	fmt.Println("(Observation VIII).")
+}

@@ -1,0 +1,53 @@
+// Radiationsweep compares how the repetition and XXZZ code families ride
+// out the same radiation event, sweeping the intrinsic physical error
+// rate like the paper's Figure 5 landscape.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radqec/internal/core"
+)
+
+func main() {
+	specs := []core.CodeSpec{
+		{Family: core.FamilyRepetition, DZ: 5},
+		{Family: core.FamilyXXZZ, DZ: 3, DX: 3},
+	}
+	physRates := []float64{1e-8, 1e-5, 1e-3, 1e-2, 1e-1}
+
+	fmt.Println("logical error at the moment of impact (strike on qubit 2, full spread)")
+	fmt.Printf("%-12s", "phys rate")
+	for _, s := range specs {
+		fmt.Printf("  %s-(%d,%d)", s.Family, s.DZ, max(s.DX, 1))
+	}
+	fmt.Println()
+	for _, p := range physRates {
+		fmt.Printf("%-12.0e", p)
+		for _, spec := range specs {
+			sim, err := core.NewSimulator(core.Options{
+				Code:              spec,
+				Topology:          "mesh",
+				PhysicalErrorRate: p,
+				Shots:             2000,
+				Seed:              42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := sim.StrikeAtImpact(2, true)
+			fmt.Printf("  %13.2f%%", 100*res.Rate())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe radiation floor persists even at p=1e-8: no amount of gate")
+	fmt.Println("fidelity rescues a surface code from a particle strike (Observation I).")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

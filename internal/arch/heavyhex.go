@@ -1,0 +1,62 @@
+package arch
+
+import "fmt"
+
+// HeavyHex generates an IBM-style heavy-hexagon lattice with rows cell
+// rows and cols cell columns. The lattice alternates full qubit rows
+// (the hexagon tops/bottoms) with sparse bridge rows, matching the
+// pattern of the Falcon (27q) and Hummingbird (65q) processors; the
+// fixed Cairo and Brooklyn maps in this package are instances of the
+// same family. Use it to extrapolate the Figure 8 architecture study to
+// device generations beyond the paper.
+//
+// Construction: full rows have 2*cols+1 qubits. Between consecutive
+// full rows sits a bridge row with cols+1 qubits; bridge qubit b of an
+// even gap connects to column 4*(b/2) offsets... concretely, bridges
+// attach at every fourth position, staggered by two positions on
+// alternating gaps, exactly like the published heavy-hex devices.
+func HeavyHex(rows, cols int) Topology {
+	if rows < 1 || cols < 1 {
+		panic("arch: heavy-hex dimensions must be positive")
+	}
+	rowLen := 4*cols + 3
+	// Qubit ids: full row r occupies a contiguous block, followed by its
+	// bridge row (if any).
+	fullStart := make([]int, rows+1)
+	bridgeStart := make([]int, rows)
+	bridgeCount := cols + 1
+	next := 0
+	for r := 0; r <= rows; r++ {
+		fullStart[r] = next
+		next += rowLen
+		if r < rows {
+			bridgeStart[r] = next
+			next += bridgeCount
+		}
+	}
+	g := fromEdges(fmt.Sprintf("heavyhex-%dx%d", rows, cols), next, nil)
+	// Horizontal chains along every full row.
+	for r := 0; r <= rows; r++ {
+		for i := 0; i+1 < rowLen; i++ {
+			g.Graph.AddEdge(fullStart[r]+i, fullStart[r]+i+1)
+		}
+	}
+	// Bridges: gap r connects full rows r and r+1. On even gaps the
+	// bridges sit at positions 0, 4, 8, ...; on odd gaps at 2, 6, 10, ...
+	for r := 0; r < rows; r++ {
+		offset := 0
+		if r%2 == 1 {
+			offset = 2
+		}
+		for b := 0; b < bridgeCount; b++ {
+			pos := offset + 4*b
+			if pos >= rowLen {
+				break
+			}
+			bridge := bridgeStart[r] + b
+			g.Graph.AddEdge(fullStart[r]+pos, bridge)
+			g.Graph.AddEdge(bridge, fullStart[r+1]+pos)
+		}
+	}
+	return g
+}

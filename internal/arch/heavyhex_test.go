@@ -1,0 +1,53 @@
+package arch
+
+import "testing"
+
+func TestHeavyHexConnected(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 3}, {3, 3}, {4, 5}} {
+		topo := HeavyHex(dims[0], dims[1])
+		if !topo.Graph.Connected() {
+			t.Fatalf("heavyhex-%dx%d disconnected", dims[0], dims[1])
+		}
+	}
+}
+
+func TestHeavyHexGeneratorDegreeBound(t *testing.T) {
+	topo := HeavyHex(3, 4)
+	for v := 0; v < topo.Graph.N(); v++ {
+		if d := topo.Graph.Degree(v); d > 3 {
+			t.Fatalf("heavy-hex vertex %d has degree %d > 3", v, d)
+		}
+	}
+}
+
+func TestHeavyHexSize(t *testing.T) {
+	// rows+1 full rows of 4*cols+3 qubits, rows bridge rows of cols+1.
+	rows, cols := 2, 2
+	topo := HeavyHex(rows, cols)
+	want := (rows+1)*(4*cols+3) + rows*(cols+1)
+	if got := topo.Graph.N(); got != want {
+		t.Fatalf("heavyhex-%dx%d has %d qubits, want %d", rows, cols, got, want)
+	}
+}
+
+func TestHeavyHexPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HeavyHex(0, 2)
+}
+
+func TestHeavyHexHostsSurfaceCode(t *testing.T) {
+	// A generated heavy-hex lattice must be a viable transpile target.
+	topo := HeavyHex(2, 2)
+	c := ghzCircuit(18)
+	tr, err := Transpile(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRouted(tr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,403 @@
+package arch
+
+import (
+	"fmt"
+
+	"radqec/internal/circuit"
+)
+
+// Layout maps logical circuit qubits onto physical device qubits.
+type Layout struct {
+	// LogToPhys[l] is the physical qubit holding logical qubit l.
+	LogToPhys []int
+	// PhysToLog[p] is the logical qubit on physical qubit p, -1 if none.
+	PhysToLog []int
+}
+
+func newLayout(numLogical, numPhysical int) Layout {
+	l := Layout{
+		LogToPhys: make([]int, numLogical),
+		PhysToLog: make([]int, numPhysical),
+	}
+	for i := range l.LogToPhys {
+		l.LogToPhys[i] = -1
+	}
+	for i := range l.PhysToLog {
+		l.PhysToLog[i] = -1
+	}
+	return l
+}
+
+func (l Layout) clone() Layout {
+	return Layout{
+		LogToPhys: append([]int(nil), l.LogToPhys...),
+		PhysToLog: append([]int(nil), l.PhysToLog...),
+	}
+}
+
+func (l *Layout) place(logical, physical int) {
+	l.LogToPhys[logical] = physical
+	l.PhysToLog[physical] = logical
+}
+
+func (l *Layout) swapPhysical(a, b int) {
+	la, lb := l.PhysToLog[a], l.PhysToLog[b]
+	l.PhysToLog[a], l.PhysToLog[b] = lb, la
+	if la >= 0 {
+		l.LogToPhys[la] = b
+	}
+	if lb >= 0 {
+		l.LogToPhys[lb] = a
+	}
+}
+
+// Transpiled is a circuit routed onto a hardware topology.
+type Transpiled struct {
+	// Circuit operates on physical qubit indices (width = device size).
+	Circuit *circuit.Circuit
+	// Topo is the target device.
+	Topo Topology
+	// Initial is the layout before the first operation; Final after the
+	// last (SWAP insertion permutes the mapping over time).
+	Initial Layout
+	Final   Layout
+	// SwapCount is the number of inserted SWAP gates (the routing
+	// overhead Observation VIII correlates with fault spread).
+	SwapCount int
+	// Source is the logical circuit that was transpiled.
+	Source *circuit.Circuit
+}
+
+// Used returns the sorted list of physical qubits touched by any
+// operation of the routed circuit.
+func (t *Transpiled) Used() []int {
+	seen := make([]bool, t.Circuit.NumQubits)
+	for _, op := range t.Circuit.Ops {
+		for _, q := range op.Qubits {
+			seen[q] = true
+		}
+	}
+	var out []int
+	for q, s := range seen {
+		if s {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// RoleOf returns the register role ("data", "mz", ...) of the logical
+// qubit initially placed on physical qubit p, or "" when p starts empty.
+// Figure 8 colours architecture nodes by exactly this attribution.
+func (t *Transpiled) RoleOf(p int) string {
+	l := t.Initial.PhysToLog[p]
+	if l < 0 {
+		return ""
+	}
+	return t.Source.QubitRole(l)
+}
+
+// LayoutStrategy selects how Transpile places logical qubits initially.
+type LayoutStrategy int
+
+const (
+	// LayoutCompact grows a connected patch by BFS from the
+	// highest-degree vertex (identity on exact-fit devices). Default.
+	LayoutCompact LayoutStrategy = iota
+	// LayoutTrivial maps logical qubit i to physical qubit i. The
+	// router ablation baseline.
+	LayoutTrivial
+)
+
+// Transpile routes the logical circuit onto the topology: it chooses an
+// initial layout, emits each operation on physical indices, and inserts
+// SWAP chains along shortest paths whenever a two-qubit gate spans
+// non-adjacent physical qubits. This mirrors the role of the Qiskit
+// transpiler in the paper (default optimisation, free qubit placement).
+func Transpile(c *circuit.Circuit, topo Topology) (*Transpiled, error) {
+	return TranspileWithLayout(c, topo, LayoutCompact)
+}
+
+// TranspileWithLayout is Transpile with an explicit layout strategy.
+func TranspileWithLayout(c *circuit.Circuit, topo Topology, strategy LayoutStrategy) (*Transpiled, error) {
+	n := topo.Graph.N()
+	if n < c.NumQubits {
+		return nil, fmt.Errorf("arch: %s has %d qubits, circuit needs %d", topo.Name, n, c.NumQubits)
+	}
+	var layout Layout
+	if strategy == LayoutTrivial {
+		layout = newLayout(c.NumQubits, n)
+		for i := 0; i < c.NumQubits; i++ {
+			layout.place(i, i)
+		}
+	} else {
+		layout = initialLayout(c, topo)
+	}
+	out := circuit.New(n, c.NumClbits)
+	out.CRegs = append([]circuit.Register(nil), c.CRegs...)
+	result := &Transpiled{
+		Topo:    topo,
+		Initial: layout.clone(),
+		Source:  c,
+	}
+	// Interaction degree per logical qubit: when routing, the busier
+	// endpoint (the "hub", e.g. a readout ancilla fanning in from every
+	// data qubit) is the one that travels, so its many partners stay
+	// put. This mirrors what lookahead routers converge to and keeps the
+	// SWAP count near the theoretical minimum for fan-in patterns.
+	interDeg := make([]int, c.NumQubits)
+	for _, op := range c.Ops {
+		if len(op.Qubits) == 2 && op.Kind != circuit.KindBarrier {
+			interDeg[op.Qubits[0]]++
+			interDeg[op.Qubits[1]]++
+		}
+	}
+	cur := layout
+	for _, op := range c.Ops {
+		switch {
+		case op.Kind == circuit.KindBarrier:
+			phys := make([]int, 0, len(op.Qubits))
+			for _, q := range op.Qubits {
+				phys = append(phys, cur.LogToPhys[q])
+			}
+			out.Barrier(phys...)
+		case len(op.Qubits) == 2:
+			la, lb := op.Qubits[0], op.Qubits[1]
+			a, b := cur.LogToPhys[la], cur.LogToPhys[lb]
+			if !topo.Graph.HasEdge(a, b) {
+				// Move the higher-degree endpoint toward the other.
+				src, dst := a, b
+				if interDeg[la] < interDeg[lb] {
+					src, dst = b, a
+				}
+				path := topo.Graph.ShortestPath(src, dst)
+				if path == nil {
+					return nil, fmt.Errorf("arch: %s disconnects qubits %d and %d", topo.Name, a, b)
+				}
+				for i := 0; i+2 < len(path); i++ {
+					out.SWAP(path[i], path[i+1])
+					cur.swapPhysical(path[i], path[i+1])
+					result.SwapCount++
+				}
+				a, b = cur.LogToPhys[la], cur.LogToPhys[lb]
+			}
+			emit2(out, op.Kind, a, b)
+		default:
+			p := cur.LogToPhys[op.Qubits[0]]
+			emit1(out, op, p)
+		}
+	}
+	result.Circuit = out
+	result.Final = cur
+	return result, nil
+}
+
+func emit1(out *circuit.Circuit, op circuit.Op, p int) {
+	switch op.Kind {
+	case circuit.KindH:
+		out.H(p)
+	case circuit.KindX:
+		out.X(p)
+	case circuit.KindY:
+		out.Y(p)
+	case circuit.KindZ:
+		out.Z(p)
+	case circuit.KindS:
+		out.S(p)
+	case circuit.KindMeasure:
+		out.Measure(p, op.Clbit)
+	case circuit.KindReset:
+		out.Reset(p)
+	default:
+		panic(fmt.Sprintf("arch: unexpected single-qubit op %v", op.Kind))
+	}
+}
+
+func emit2(out *circuit.Circuit, kind circuit.GateKind, a, b int) {
+	switch kind {
+	case circuit.KindCNOT:
+		out.CNOT(a, b)
+	case circuit.KindCZ:
+		out.CZ(a, b)
+	case circuit.KindSWAP:
+		out.SWAP(a, b)
+	default:
+		panic(fmt.Sprintf("arch: unexpected two-qubit op %v", kind))
+	}
+}
+
+// initialLayout places logical qubits by interaction affinity, the way
+// production transpilers (SABRE and friends) do: qubits that share
+// two-qubit gates land on nearby physical vertices, which interleaves
+// data and measure qubits along the stabilizer chains. This matters for
+// the radiation study — a spatially contiguous lattice fault then hits a
+// realistic mix of qubit roles rather than a register-ordered block.
+func initialLayout(c *circuit.Circuit, topo Topology) Layout {
+	n := topo.Graph.N()
+	layout := newLayout(c.NumQubits, n)
+	if c.NumQubits == 0 {
+		return layout
+	}
+	// Interaction graph: weight = number of shared two-qubit gates.
+	inter := make([]map[int]int, c.NumQubits)
+	for i := range inter {
+		inter[i] = make(map[int]int)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) == 2 && op.Kind != circuit.KindBarrier {
+			a, b := op.Qubits[0], op.Qubits[1]
+			inter[a][b]++
+			inter[b][a]++
+		}
+	}
+	// Place logical qubits in circuit first-use order (the forward-pass
+	// heuristic of SABRE-style transpilers): by the time a qubit is
+	// placed, the partners of its earliest gates already have homes, so
+	// stabilizer chains interleave data and measure qubits naturally.
+	order := make([]int, 0, c.NumQubits)
+	seen := make([]bool, c.NumQubits)
+	for _, op := range c.Ops {
+		if op.Kind == circuit.KindBarrier {
+			continue
+		}
+		for _, q := range op.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+	}
+	for l := 0; l < c.NumQubits; l++ {
+		if !seen[l] {
+			order = append(order, l)
+		}
+	}
+	dist := topo.Graph.AllPairsShortestPaths()
+	// Seed choice: when the circuit nearly fills the device, start at
+	// the periphery so the placement walk has room to unfold; on large
+	// devices start at the center where connectivity is richest.
+	var center int
+	if 2*c.NumQubits > n {
+		center = graphPeriphery(topo, dist)
+	} else {
+		center = graphCenter(topo, dist)
+	}
+	free := make([]bool, n)
+	for v := range free {
+		free[v] = true
+	}
+	freeNeighbors := func(v int) int {
+		k := 0
+		for _, w := range topo.Graph.Neighbors(v) {
+			if free[w] {
+				k++
+			}
+		}
+		return k
+	}
+	for i, l := range order {
+		if i == 0 {
+			layout.place(l, center)
+			free[center] = false
+			continue
+		}
+		// Choose the free vertex minimising the interaction-weighted
+		// distance to placed partners; break ties by Warnsdorff's rule
+		// (fewest onward free neighbors), which makes the placement
+		// walk hug the device boundary and snake through grids without
+		// leaving dead ends. Final tie: lower index, for determinism.
+		best, bestCost, bestRoom := -1, 0, 0
+		for v := 0; v < n; v++ {
+			if !free[v] {
+				continue
+			}
+			cost := 0
+			reachable := true
+			for nb, w := range inter[l] {
+				p := layout.LogToPhys[nb]
+				if p < 0 {
+					continue
+				}
+				d := dist[v][p]
+				if d < 0 {
+					reachable = false
+					break
+				}
+				cost += w * d
+			}
+			if !reachable {
+				continue
+			}
+			room := freeNeighbors(v)
+			if best == -1 || cost < bestCost || (cost == bestCost && room < bestRoom) {
+				best, bestCost, bestRoom = v, cost, room
+			}
+		}
+		if best == -1 {
+			// Disconnected leftovers: take any free vertex.
+			for v := 0; v < n; v++ {
+				if free[v] {
+					best = v
+					break
+				}
+			}
+		}
+		layout.place(l, best)
+		free[best] = false
+	}
+	return layout
+}
+
+// graphPeriphery returns a vertex of maximum eccentricity (ties broken
+// by lower degree, then lower index) — a corner of the device.
+func graphPeriphery(topo Topology, dist [][]int) int {
+	n := topo.Graph.N()
+	best, bestEcc := 0, -1
+	for v := 0; v < n; v++ {
+		ecc := 0
+		for w := 0; w < n; w++ {
+			if dist[v][w] > ecc {
+				ecc = dist[v][w]
+			}
+		}
+		if ecc > bestEcc ||
+			(ecc == bestEcc && topo.Graph.Degree(v) < topo.Graph.Degree(best)) {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}
+
+// graphCenter returns a vertex of minimum eccentricity (ties broken by
+// higher degree, then lower index).
+func graphCenter(topo Topology, dist [][]int) int {
+	n := topo.Graph.N()
+	best, bestEcc := 0, -1
+	for v := 0; v < n; v++ {
+		ecc := 0
+		for w := 0; w < n; w++ {
+			if dist[v][w] > ecc {
+				ecc = dist[v][w]
+			}
+		}
+		if bestEcc == -1 || ecc < bestEcc ||
+			(ecc == bestEcc && topo.Graph.Degree(v) > topo.Graph.Degree(best)) {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}
+
+// VerifyRouted checks that every two-qubit operation of the routed
+// circuit acts on physically adjacent qubits.
+func VerifyRouted(t *Transpiled) error {
+	for i, op := range t.Circuit.Ops {
+		if len(op.Qubits) == 2 && op.Kind != circuit.KindBarrier {
+			if !t.Topo.Graph.HasEdge(op.Qubits[0], op.Qubits[1]) {
+				return fmt.Errorf("arch: op %d (%v q%d q%d) spans non-adjacent qubits",
+					i, op.Kind, op.Qubits[0], op.Qubits[1])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// used by the surface-code builders, the transpiler, and the fault
+// injector. A Circuit is an ordered stream of operations over quantum and
+// classical registers, mirroring the gate-based formalism of the paper
+// (Figures 1 and 2): Clifford gates, mid-circuit measurement into
+// classical bits, and non-unitary reset.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateKind enumerates every operation the IR supports. The set is the
+// Clifford group fragment needed by the repetition and XXZZ codes plus
+// the non-unitary reset and measurement channels.
+type GateKind int
+
+const (
+	// KindH is the Hadamard gate.
+	KindH GateKind = iota
+	// KindX is the Pauli-X (bit flip) gate.
+	KindX
+	// KindY is the Pauli-Y gate.
+	KindY
+	// KindZ is the Pauli-Z (phase flip) gate.
+	KindZ
+	// KindS is the phase gate (sqrt of Z).
+	KindS
+	// KindCNOT is the controlled-X gate; Qubits[0] controls Qubits[1].
+	KindCNOT
+	// KindCZ is the controlled-Z gate (symmetric).
+	KindCZ
+	// KindSWAP exchanges two qubit states.
+	KindSWAP
+	// KindMeasure measures Qubits[0] in the Z basis into Clbit.
+	KindMeasure
+	// KindReset non-unitarily forces Qubits[0] to |0>. This is the
+	// radiation fault channel of the paper (Section III-B).
+	KindReset
+	// KindBarrier is a scheduling fence; it touches Qubits but has no
+	// quantum effect and receives no injected noise.
+	KindBarrier
+)
+
+var kindNames = [...]string{"h", "x", "y", "z", "s", "cx", "cz", "swap", "measure", "reset", "barrier"}
+
+// String returns the lower-case mnemonic of the gate kind.
+func (k GateKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("gate(%d)", int(k))
+}
+
+// IsUnitary reports whether the kind is a unitary quantum gate.
+func (k GateKind) IsUnitary() bool {
+	switch k {
+	case KindMeasure, KindReset, KindBarrier:
+		return false
+	}
+	return true
+}
+
+// Arity returns the number of qubits the kind acts on (barriers vary).
+func (k GateKind) Arity() int {
+	switch k {
+	case KindCNOT, KindCZ, KindSWAP:
+		return 2
+	case KindBarrier:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Op is one operation in a circuit.
+type Op struct {
+	Kind   GateKind
+	Qubits []int
+	// Clbit is the classical bit receiving a measurement outcome; it is
+	// -1 for non-measurement operations.
+	Clbit int
+}
+
+// Register names a contiguous block of qubits (or classical bits). The
+// surface-code builders use registers to mark each qubit's role (data,
+// Z-stabilizer measure, X-stabilizer measure, ancilla), which Figure 8
+// of the paper correlates with criticality.
+type Register struct {
+	Name  string
+	Start int
+	Size  int
+}
+
+// Contains reports whether index i falls inside the register.
+func (r Register) Contains(i int) bool { return i >= r.Start && i < r.Start+r.Size }
+
+// Circuit is an ordered operation stream over NumQubits qubits and
+// NumClbits classical bits.
+type Circuit struct {
+	NumQubits int
+	NumClbits int
+	Ops       []Op
+	QRegs     []Register
+	CRegs     []Register
+}
+
+// New returns an empty circuit with the given quantum and classical
+// widths.
+func New(numQubits, numClbits int) *Circuit {
+	if numQubits < 0 || numClbits < 0 {
+		panic("circuit: negative register width")
+	}
+	return &Circuit{NumQubits: numQubits, NumClbits: numClbits}
+}
+
+// AddQReg appends a named qubit register covering the next size qubits
+// and returns it. Registers are purely descriptive; they never change
+// operational semantics.
+func (c *Circuit) AddQReg(name string, size int) Register {
+	start := 0
+	for _, r := range c.QRegs {
+		start += r.Size
+	}
+	r := Register{Name: name, Start: start, Size: size}
+	c.QRegs = append(c.QRegs, r)
+	if start+size > c.NumQubits {
+		c.NumQubits = start + size
+	}
+	return r
+}
+
+// AddCReg appends a named classical register and returns it.
+func (c *Circuit) AddCReg(name string, size int) Register {
+	start := 0
+	for _, r := range c.CRegs {
+		start += r.Size
+	}
+	r := Register{Name: name, Start: start, Size: size}
+	c.CRegs = append(c.CRegs, r)
+	if start+size > c.NumClbits {
+		c.NumClbits = start + size
+	}
+	return r
+}
+
+// QubitRole returns the name of the register holding qubit q, or "".
+func (c *Circuit) QubitRole(q int) string {
+	for _, r := range c.QRegs {
+		if r.Contains(q) {
+			return r.Name
+		}
+	}
+	return ""
+}
+
+func (c *Circuit) checkQ(q int) {
+	if q < 0 || q >= c.NumQubits {
+		panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits))
+	}
+}
+
+func (c *Circuit) checkC(b int) {
+	if b < 0 || b >= c.NumClbits {
+		panic(fmt.Sprintf("circuit: clbit %d out of range [0,%d)", b, c.NumClbits))
+	}
+}
+
+func (c *Circuit) append1(kind GateKind, q int) {
+	c.checkQ(q)
+	c.Ops = append(c.Ops, Op{Kind: kind, Qubits: []int{q}, Clbit: -1})
+}
+
+func (c *Circuit) append2(kind GateKind, a, b int) {
+	c.checkQ(a)
+	c.checkQ(b)
+	if a == b {
+		panic("circuit: two-qubit gate on identical qubits")
+	}
+	c.Ops = append(c.Ops, Op{Kind: kind, Qubits: []int{a, b}, Clbit: -1})
+}
+
+// H appends a Hadamard on q.
+func (c *Circuit) H(q int) { c.append1(KindH, q) }
+
+// X appends a Pauli-X on q.
+func (c *Circuit) X(q int) { c.append1(KindX, q) }
+
+// Y appends a Pauli-Y on q.
+func (c *Circuit) Y(q int) { c.append1(KindY, q) }
+
+// Z appends a Pauli-Z on q.
+func (c *Circuit) Z(q int) { c.append1(KindZ, q) }
+
+// S appends a phase gate on q.
+func (c *Circuit) S(q int) { c.append1(KindS, q) }
+
+// CNOT appends a controlled-X with the given control and target.
+func (c *Circuit) CNOT(control, target int) { c.append2(KindCNOT, control, target) }
+
+// CZ appends a controlled-Z between a and b.
+func (c *Circuit) CZ(a, b int) { c.append2(KindCZ, a, b) }
+
+// SWAP appends a swap of a and b.
+func (c *Circuit) SWAP(a, b int) { c.append2(KindSWAP, a, b) }
+
+// Measure appends a Z-basis measurement of q into classical bit bit.
+func (c *Circuit) Measure(q, bit int) {
+	c.checkQ(q)
+	c.checkC(bit)
+	c.Ops = append(c.Ops, Op{Kind: KindMeasure, Qubits: []int{q}, Clbit: bit})
+}
+
+// Reset appends a non-unitary reset of q to |0>.
+func (c *Circuit) Reset(q int) { c.append1(KindReset, q) }
+
+// Barrier appends a scheduling fence over the given qubits (all qubits
+// when none are listed).
+func (c *Circuit) Barrier(qs ...int) {
+	if len(qs) == 0 {
+		qs = make([]int, c.NumQubits)
+		for i := range qs {
+			qs[i] = i
+		}
+	}
+	for _, q := range qs {
+		c.checkQ(q)
+	}
+	c.Ops = append(c.Ops, Op{Kind: KindBarrier, Qubits: append([]int(nil), qs...), Clbit: -1})
+}
+
+// Append copies every operation of other onto the end of c. The two
+// circuits must have compatible widths.
+func (c *Circuit) Append(other *Circuit) {
+	if other.NumQubits > c.NumQubits || other.NumClbits > c.NumClbits {
+		panic("circuit: Append source wider than destination")
+	}
+	for _, op := range other.Ops {
+		cp := op
+		cp.Qubits = append([]int(nil), op.Qubits...)
+		c.Ops = append(c.Ops, cp)
+	}
+}
+
+// GateCounts returns the number of operations per kind.
+func (c *Circuit) GateCounts() map[GateKind]int {
+	counts := make(map[GateKind]int)
+	for _, op := range c.Ops {
+		counts[op.Kind]++
+	}
+	return counts
+}
+
+// CountTwoQubit returns the number of two-qubit gates (CNOT, CZ, SWAP).
+func (c *Circuit) CountTwoQubit() int {
+	n := 0
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case KindCNOT, KindCZ, KindSWAP:
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth: the longest chain of operations that
+// share a qubit or a classical bit. Barriers synchronise but add no depth.
+func (c *Circuit) Depth() int {
+	qDepth := make([]int, c.NumQubits)
+	cDepth := make([]int, c.NumClbits)
+	depth := 0
+	for _, op := range c.Ops {
+		level := 0
+		for _, q := range op.Qubits {
+			if qDepth[q] > level {
+				level = qDepth[q]
+			}
+		}
+		if op.Clbit >= 0 && cDepth[op.Clbit] > level {
+			level = cDepth[op.Clbit]
+		}
+		if op.Kind != KindBarrier {
+			level++
+		}
+		for _, q := range op.Qubits {
+			qDepth[q] = level
+		}
+		if op.Clbit >= 0 {
+			cDepth[op.Clbit] = level
+		}
+		if level > depth {
+			depth = level
+		}
+	}
+	return depth
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	cp := &Circuit{
+		NumQubits: c.NumQubits,
+		NumClbits: c.NumClbits,
+		Ops:       make([]Op, len(c.Ops)),
+		QRegs:     append([]Register(nil), c.QRegs...),
+		CRegs:     append([]Register(nil), c.CRegs...),
+	}
+	for i, op := range c.Ops {
+		cp.Ops[i] = Op{Kind: op.Kind, Qubits: append([]int(nil), op.Qubits...), Clbit: op.Clbit}
+	}
+	return cp
+}
+
+// String renders the circuit as one mnemonic per line, e.g. "cx q3 q4"
+// and "measure q1 -> c0". Useful for debugging and golden tests.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %dq %dc\n", c.NumQubits, c.NumClbits)
+	for _, op := range c.Ops {
+		b.WriteString(op.Kind.String())
+		for _, q := range op.Qubits {
+			fmt.Fprintf(&b, " q%d", q)
+		}
+		if op.Clbit >= 0 {
+			fmt.Fprintf(&b, " -> c%d", op.Clbit)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package circuit
+
+// DAG is the dependency graph of a circuit: node i is operation i, and
+// an edge u -> v means operation v consumes a qubit or classical bit
+// last touched by operation u. The paper's Observation VII explains the
+// per-qubit criticality gradient through exactly this structure: a fault
+// on a qubit used early reaches all of the operation's DAG descendants.
+type DAG struct {
+	circ  *Circuit
+	succ  [][]int
+	pred  [][]int
+	order []int // topological order (identical to op order by construction)
+}
+
+// BuildDAG computes the dependency DAG of the circuit.
+func BuildDAG(c *Circuit) *DAG {
+	n := len(c.Ops)
+	d := &DAG{
+		circ: c,
+		succ: make([][]int, n),
+		pred: make([][]int, n),
+	}
+	lastQ := make([]int, c.NumQubits)
+	lastC := make([]int, c.NumClbits)
+	for i := range lastQ {
+		lastQ[i] = -1
+	}
+	for i := range lastC {
+		lastC[i] = -1
+	}
+	addEdge := func(u, v int) {
+		for _, w := range d.succ[u] {
+			if w == v {
+				return
+			}
+		}
+		d.succ[u] = append(d.succ[u], v)
+		d.pred[v] = append(d.pred[v], u)
+	}
+	for i, op := range c.Ops {
+		for _, q := range op.Qubits {
+			if lastQ[q] >= 0 {
+				addEdge(lastQ[q], i)
+			}
+			lastQ[q] = i
+		}
+		if op.Clbit >= 0 {
+			if lastC[op.Clbit] >= 0 {
+				addEdge(lastC[op.Clbit], i)
+			}
+			lastC[op.Clbit] = i
+		}
+		d.order = append(d.order, i)
+	}
+	return d
+}
+
+// NumNodes returns the number of operations in the DAG.
+func (d *DAG) NumNodes() int { return len(d.succ) }
+
+// Successors returns the direct dependents of operation i.
+func (d *DAG) Successors(i int) []int { return d.succ[i] }
+
+// Predecessors returns the direct dependencies of operation i.
+func (d *DAG) Predecessors(i int) []int { return d.pred[i] }
+
+// Descendants returns the set (as a bool slice indexed by op) of all
+// operations reachable from i, excluding i itself.
+func (d *DAG) Descendants(i int) []bool {
+	seen := make([]bool, len(d.succ))
+	stack := append([]int(nil), d.succ[i]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		stack = append(stack, d.succ[v]...)
+	}
+	return seen
+}
+
+// DescendantCount returns the number of operations downstream of i.
+func (d *DAG) DescendantCount(i int) int {
+	seen := d.Descendants(i)
+	n := 0
+	for _, s := range seen {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// QubitFirstUse returns, per qubit, the index of the first operation
+// touching it (-1 when unused). Lower values mean "used earlier", the
+// axis Observation VII correlates with criticality.
+func (d *DAG) QubitFirstUse() []int {
+	first := make([]int, d.circ.NumQubits)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, op := range d.circ.Ops {
+		for _, q := range op.Qubits {
+			if first[q] == -1 {
+				first[q] = i
+			}
+		}
+	}
+	return first
+}
+
+// QubitInfluence returns, per qubit, the total number of distinct
+// operations downstream of any operation touching that qubit (including
+// the touching operations themselves). It is a static proxy for how far
+// a fault on the qubit can propagate.
+func (d *DAG) QubitInfluence() []int {
+	out := make([]int, d.circ.NumQubits)
+	for q := 0; q < d.circ.NumQubits; q++ {
+		seen := make([]bool, len(d.succ))
+		var stack []int
+		for i, op := range d.circ.Ops {
+			for _, oq := range op.Qubits {
+				if oq == q && !seen[i] {
+					seen[i] = true
+					stack = append(stack, i)
+				}
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range d.succ[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		n := 0
+		for _, s := range seen {
+			if s {
+				n++
+			}
+		}
+		out[q] = n
+	}
+	return out
+}

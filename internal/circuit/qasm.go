@@ -1,0 +1,88 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteQASM renders the circuit as OpenQASM 2.0 for interoperability
+// with external toolchains (Qiskit, qtcodes, Stim converters). Named
+// registers are preserved when they cover the full qubit range;
+// otherwise a single anonymous register is emitted.
+func (c *Circuit) WriteQASM(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+
+	qname := func(q int) string { return fmt.Sprintf("q[%d]", q) }
+	cname := func(bit int) string { return fmt.Sprintf("c[%d]", bit) }
+	covered := 0
+	for _, r := range c.QRegs {
+		covered += r.Size
+	}
+	if covered == c.NumQubits && len(c.QRegs) > 0 {
+		for _, r := range c.QRegs {
+			if r.Size > 0 {
+				fmt.Fprintf(&b, "qreg %s[%d];\n", r.Name, r.Size)
+			}
+		}
+		qname = func(q int) string {
+			for _, r := range c.QRegs {
+				if r.Contains(q) {
+					return fmt.Sprintf("%s[%d]", r.Name, q-r.Start)
+				}
+			}
+			return fmt.Sprintf("q[%d]", q)
+		}
+	} else if c.NumQubits > 0 {
+		fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	}
+	coveredC := 0
+	for _, r := range c.CRegs {
+		coveredC += r.Size
+	}
+	if coveredC == c.NumClbits && len(c.CRegs) > 0 {
+		for _, r := range c.CRegs {
+			if r.Size > 0 {
+				fmt.Fprintf(&b, "creg %s[%d];\n", r.Name, r.Size)
+			}
+		}
+		cname = func(bit int) string {
+			for _, r := range c.CRegs {
+				if r.Contains(bit) {
+					return fmt.Sprintf("%s[%d]", r.Name, bit-r.Start)
+				}
+			}
+			return fmt.Sprintf("c[%d]", bit)
+		}
+	} else if c.NumClbits > 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
+	}
+
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case KindH, KindX, KindY, KindZ, KindS:
+			fmt.Fprintf(&b, "%s %s;\n", op.Kind, qname(op.Qubits[0]))
+		case KindCNOT:
+			fmt.Fprintf(&b, "cx %s,%s;\n", qname(op.Qubits[0]), qname(op.Qubits[1]))
+		case KindCZ:
+			fmt.Fprintf(&b, "cz %s,%s;\n", qname(op.Qubits[0]), qname(op.Qubits[1]))
+		case KindSWAP:
+			fmt.Fprintf(&b, "swap %s,%s;\n", qname(op.Qubits[0]), qname(op.Qubits[1]))
+		case KindMeasure:
+			fmt.Fprintf(&b, "measure %s -> %s;\n", qname(op.Qubits[0]), cname(op.Clbit))
+		case KindReset:
+			fmt.Fprintf(&b, "reset %s;\n", qname(op.Qubits[0]))
+		case KindBarrier:
+			names := make([]string, len(op.Qubits))
+			for i, q := range op.Qubits {
+				names[i] = qname(q)
+			}
+			fmt.Fprintf(&b, "barrier %s;\n", strings.Join(names, ","))
+		default:
+			return fmt.Errorf("circuit: cannot export %v to QASM", op.Kind)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

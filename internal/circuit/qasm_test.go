@@ -1,0 +1,90 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteQASMBasic(t *testing.T) {
+	c := New(2, 1)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Measure(1, 0)
+	var b strings.Builder
+	if err := c.WriteQASM(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[2];",
+		"creg c[1];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"measure q[1] -> c[0];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteQASMNamedRegisters(t *testing.T) {
+	c := New(0, 0)
+	c.AddQReg("data", 2)
+	c.AddQReg("mz", 1)
+	c.AddCReg("syn", 1)
+	c.CNOT(0, 2)
+	c.Measure(2, 0)
+	var b strings.Builder
+	if err := c.WriteQASM(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"qreg data[2];",
+		"qreg mz[1];",
+		"creg syn[1];",
+		"cx data[0],mz[0];",
+		"measure mz[0] -> syn[0];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteQASMAllGateKinds(t *testing.T) {
+	c := New(2, 1)
+	c.H(0)
+	c.X(0)
+	c.Y(0)
+	c.Z(0)
+	c.S(0)
+	c.CZ(0, 1)
+	c.SWAP(0, 1)
+	c.Reset(0)
+	c.Barrier()
+	c.Measure(0, 0)
+	var b strings.Builder
+	if err := c.WriteQASM(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"y q[0];", "s q[0];", "cz ", "swap ", "reset q[0];", "barrier q[0],q[1];"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteQASMEmptyCircuit(t *testing.T) {
+	c := New(0, 0)
+	var b strings.Builder
+	if err := c.WriteQASM(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "OPENQASM") {
+		t.Fatal("missing header")
+	}
+}

@@ -1,0 +1,252 @@
+// Package core is the high-level façade of the radqec library: it wires
+// together the surface-code builders, the hardware transpiler, the
+// radiation fault model, the parallel injection engine and the MWPM
+// decoder behind a small API suitable for applications.
+//
+// A typical session builds a Simulator for a code on a topology and
+// queries logical error rates under radiation strikes:
+//
+//	sim, _ := core.NewSimulator(core.Options{
+//	    Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 5},
+//	    Topology: "mesh",
+//	})
+//	res := sim.Strike(2)         // full time+space evolution, root qubit 2
+//	fmt.Println(res.Overall())   // logical error rate
+package core
+
+import (
+	"fmt"
+
+	"radqec/internal/arch"
+	"radqec/internal/inject"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/stats"
+)
+
+// Code family names for CodeSpec.
+const (
+	FamilyRepetition = "repetition"
+	FamilyXXZZ       = "xxzz"
+)
+
+// CodeSpec selects a surface code and its distance tuple.
+type CodeSpec struct {
+	// Family is FamilyRepetition or FamilyXXZZ.
+	Family string
+	// DZ is the bit-flip protection distance; DX the phase-flip one.
+	// The repetition family ignores DX (it is fixed to 1).
+	DZ, DX int
+}
+
+// Options configures a Simulator.
+type Options struct {
+	// Code selects the surface code.
+	Code CodeSpec
+	// Topology names the architecture graph (see arch.Names); it is
+	// sized automatically to fit the code.
+	Topology string
+	// PhysicalErrorRate is the intrinsic depolarizing rate p
+	// (default 0.01, the paper's setting).
+	PhysicalErrorRate float64
+	// TemporalSamples is ns, the step resolution of the fault's decay
+	// (default 10).
+	TemporalSamples int
+	// Shots per estimated rate (default 2000).
+	Shots int
+	// Seed drives every campaign deterministically.
+	Seed uint64
+	// Workers caps shot parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PhysicalErrorRate == 0 {
+		o.PhysicalErrorRate = 0.01
+	}
+	if o.TemporalSamples <= 0 {
+		o.TemporalSamples = noise.DefaultSamples
+	}
+	if o.Shots <= 0 {
+		o.Shots = 2000
+	}
+	if o.Topology == "" {
+		o.Topology = "mesh"
+	}
+	return o
+}
+
+// Result is the outcome of one estimated point.
+type Result struct {
+	// Shots and Errors are raw campaign counts.
+	Shots, Errors int
+}
+
+// Rate returns the logical error rate.
+func (r Result) Rate() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Shots)
+}
+
+// CI returns the Wilson 95% confidence interval of the rate.
+func (r Result) CI() (lo, hi float64) { return stats.WilsonCI(r.Errors, r.Shots) }
+
+// EvolutionResult holds per-temporal-sample rates of a strike.
+type EvolutionResult struct {
+	// Samples[k] is the result at temporal sample k (sample 0 is the
+	// moment of impact, root probability 100%).
+	Samples []Result
+}
+
+// Overall returns the mean logical error rate over the evolution.
+func (e EvolutionResult) Overall() float64 {
+	return stats.Mean(e.rates())
+}
+
+// Median returns the median rate over the evolution (the per-node metric
+// of the paper's Figure 8).
+func (e EvolutionResult) Median() float64 {
+	return stats.Median(e.rates())
+}
+
+func (e EvolutionResult) rates() []float64 {
+	out := make([]float64, len(e.Samples))
+	for i, s := range e.Samples {
+		out[i] = s.Rate()
+	}
+	return out
+}
+
+// Simulator estimates post-decoding logical error rates for one code on
+// one hardware topology.
+type Simulator struct {
+	opts Options
+	code *qec.Code
+	tr   *arch.Transpiled
+	dist [][]int
+}
+
+// NewSimulator builds the code, transpiles it onto the topology and
+// prepares the distance oracle for fault spreading.
+func NewSimulator(opts Options) (*Simulator, error) {
+	opts = opts.withDefaults()
+	var (
+		code *qec.Code
+		err  error
+	)
+	switch opts.Code.Family {
+	case FamilyRepetition:
+		code, err = qec.NewRepetition(opts.Code.DZ)
+	case FamilyXXZZ:
+		code, err = qec.NewXXZZ(opts.Code.DZ, opts.Code.DX)
+	default:
+		return nil, fmt.Errorf("core: unknown code family %q", opts.Code.Family)
+	}
+	if err != nil {
+		return nil, err
+	}
+	topo, err := arch.ByName(opts.Topology, code.NumQubits())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := arch.Transpile(code.Circ, topo)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		opts: opts,
+		code: code,
+		tr:   tr,
+		dist: topo.Graph.AllPairsShortestPaths(),
+	}, nil
+}
+
+// Code returns the underlying code instance.
+func (s *Simulator) Code() *qec.Code { return s.code }
+
+// Transpiled returns the routed circuit and layout.
+func (s *Simulator) Transpiled() *arch.Transpiled { return s.tr }
+
+// NumPhysicalQubits returns the size of the device.
+func (s *Simulator) NumPhysicalQubits() int { return s.tr.Circuit.NumQubits }
+
+// UsedQubits returns the physical qubits hosting circuit activity — the
+// meaningful strike roots.
+func (s *Simulator) UsedQubits() []int { return s.tr.Used() }
+
+func (s *Simulator) campaign(ev *noise.RadiationEvent) *inject.Campaign {
+	return &inject.Campaign{
+		Exec:     inject.NewExecutor(s.tr.Circuit, noise.NewDepolarizing(s.opts.PhysicalErrorRate), ev),
+		Decode:   s.code.Decode,
+		Expected: s.code.ExpectedLogical(),
+		Workers:  s.opts.Workers,
+	}
+}
+
+func (s *Simulator) run(ev *noise.RadiationEvent, seed uint64) Result {
+	r := s.campaign(ev).Run(seed, s.opts.Shots)
+	return Result{Shots: r.Shots, Errors: r.Errors}
+}
+
+// Clean estimates the logical error rate with intrinsic noise only.
+func (s *Simulator) Clean() Result {
+	return s.run(noise.NoRadiation(s.NumPhysicalQubits()), s.opts.Seed)
+}
+
+// Strike simulates a full radiation event rooted at the given physical
+// qubit: the fault spreads spatially with S(d) and decays over the ns
+// temporal samples of T̂(t).
+func (s *Simulator) Strike(root int) EvolutionResult {
+	return s.strike(root, true)
+}
+
+// StrikeNoSpread is Strike with the spatial expansion removed — the
+// erasure configuration of the paper's Figures 6 and 7.
+func (s *Simulator) StrikeNoSpread(root int) EvolutionResult {
+	return s.strike(root, false)
+}
+
+func (s *Simulator) strike(root int, spread bool) EvolutionResult {
+	if root < 0 || root >= s.NumPhysicalQubits() {
+		panic(fmt.Sprintf("core: strike root %d out of range", root))
+	}
+	samples := noise.TemporalSamples(s.opts.TemporalSamples)
+	out := EvolutionResult{Samples: make([]Result, len(samples))}
+	for k, rootProb := range samples {
+		ev := noise.NewRadiationEvent(s.dist[root], rootProb, spread)
+		out.Samples[k] = s.run(ev, s.opts.Seed+uint64(k)*7919)
+	}
+	return out
+}
+
+// StrikeAtImpact estimates the rate at the moment of impact only
+// (temporal sample 0, root probability 100%).
+func (s *Simulator) StrikeAtImpact(root int, spread bool) Result {
+	ev := noise.NewRadiationEvent(s.dist[root], 1.0, spread)
+	return s.run(ev, s.opts.Seed)
+}
+
+// Erase resets every listed physical qubit with probability one after
+// each gate — the correlated "hypernode" fault of Figure 7.
+func (s *Simulator) Erase(members []int) Result {
+	probs := make([]float64, s.NumPhysicalQubits())
+	for _, q := range members {
+		if q < 0 || q >= len(probs) {
+			panic(fmt.Sprintf("core: erase target %d out of range", q))
+		}
+		probs[q] = 1
+	}
+	return s.run(&noise.RadiationEvent{Probs: probs}, s.opts.Seed)
+}
+
+// RawReadoutStrike estimates the error of the uncorrected ancilla
+// readout under a full-impact strike, for decoder-vs-raw comparisons.
+func (s *Simulator) RawReadoutStrike(root int, spread bool) Result {
+	ev := noise.NewRadiationEvent(s.dist[root], 1.0, spread)
+	camp := s.campaign(ev)
+	camp.Decode = s.code.RawLogical
+	r := camp.Run(s.opts.Seed, s.opts.Shots)
+	return Result{Shots: r.Shots, Errors: r.Errors}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+)
+
+func quickSim(t *testing.T, spec CodeSpec, topo string) *Simulator {
+	t.Helper()
+	sim, err := NewSimulator(Options{
+		Code:            spec,
+		Topology:        topo,
+		Shots:           200,
+		Seed:            7,
+		TemporalSamples: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestNewSimulatorRejectsUnknownFamily(t *testing.T) {
+	if _, err := NewSimulator(Options{Code: CodeSpec{Family: "steane"}}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestNewSimulatorRejectsBadDistance(t *testing.T) {
+	if _, err := NewSimulator(Options{Code: CodeSpec{Family: FamilyRepetition, DZ: 4}}); err == nil {
+		t.Fatal("even distance accepted")
+	}
+}
+
+func TestNewSimulatorRejectsBadTopology(t *testing.T) {
+	if _, err := NewSimulator(Options{
+		Code:     CodeSpec{Family: FamilyRepetition, DZ: 5},
+		Topology: "moebius",
+	}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestCleanRunIsErrorFree(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyRepetition, DZ: 5}, "mesh")
+	sim.opts.PhysicalErrorRate = 1e-12
+	res := sim.Clean()
+	if res.Errors != 0 {
+		t.Fatalf("clean run produced %d errors", res.Errors)
+	}
+	if res.Shots != 200 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+}
+
+func TestStrikeDegrades(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3}, "mesh")
+	ev := sim.Strike(sim.UsedQubits()[0])
+	if len(ev.Samples) != 4 {
+		t.Fatalf("samples = %d", len(ev.Samples))
+	}
+	if ev.Samples[0].Rate() == 0 {
+		t.Fatal("impact sample shows no degradation")
+	}
+	// Impact must be at least as bad as the decayed tail.
+	if ev.Samples[0].Rate() < ev.Samples[len(ev.Samples)-1].Rate() {
+		t.Fatal("fault did not decay over time")
+	}
+	if ev.Overall() < ev.Samples[len(ev.Samples)-1].Rate() {
+		t.Fatal("overall rate below tail rate")
+	}
+	if ev.Median() < 0 || ev.Median() > 1 {
+		t.Fatal("median out of range")
+	}
+}
+
+func TestStrikeNoSpreadIsMilder(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3}, "mesh")
+	root := sim.UsedQubits()[0]
+	spread := sim.StrikeAtImpact(root, true)
+	erase := sim.StrikeAtImpact(root, false)
+	if spread.Rate() < erase.Rate() {
+		t.Fatalf("spreading strike (%.3f) milder than erasure (%.3f)", spread.Rate(), erase.Rate())
+	}
+}
+
+func TestEraseMajorityFails(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyRepetition, DZ: 5}, "mesh")
+	res := sim.Erase(sim.UsedQubits())
+	if res.Rate() < 0.5 {
+		t.Fatalf("full-chip erasure rate = %.3f", res.Rate())
+	}
+}
+
+func TestErasePanicsOutOfRange(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyRepetition, DZ: 3}, "mesh")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.Erase([]int{9999})
+}
+
+func TestStrikePanicsOutOfRange(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyRepetition, DZ: 3}, "mesh")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.Strike(-1)
+}
+
+func TestResultCI(t *testing.T) {
+	r := Result{Shots: 100, Errors: 50}
+	lo, hi := r.CI()
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("CI [%v,%v]", lo, hi)
+	}
+	if r.Rate() != 0.5 {
+		t.Fatalf("rate = %v", r.Rate())
+	}
+	empty := Result{}
+	if empty.Rate() != 0 {
+		t.Fatal("empty rate nonzero")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() Result {
+		sim := quickSim(t, CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3}, "mesh")
+		return sim.StrikeAtImpact(2, true)
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("campaigns not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	mk := func(workers int) Result {
+		sim, err := NewSimulator(Options{
+			Code:     CodeSpec{Family: FamilyRepetition, DZ: 5},
+			Topology: "mesh",
+			Shots:    300,
+			Seed:     21,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.StrikeAtImpact(2, true)
+	}
+	if a, b := mk(1), mk(8); a != b {
+		t.Fatalf("worker count changed results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRawReadoutStrike(t *testing.T) {
+	sim := quickSim(t, CodeSpec{Family: FamilyRepetition, DZ: 5}, "mesh")
+	res := sim.RawReadoutStrike(sim.UsedQubits()[0], true)
+	if res.Shots != 200 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+}
+
+func TestSimulatorOnIBMDevices(t *testing.T) {
+	for _, topo := range []string{"cairo", "almaden", "brooklyn", "cambridge", "johannesburg"} {
+		sim := quickSim(t, CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3}, topo)
+		if got := sim.NumPhysicalQubits(); got < 18 {
+			t.Fatalf("%s: %d physical qubits", topo, got)
+		}
+		res := sim.StrikeAtImpact(sim.UsedQubits()[0], true)
+		if res.Shots == 0 {
+			t.Fatalf("%s: no shots ran", topo)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+
+	"radqec/internal/arch"
+	"radqec/internal/inject"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/stats"
+)
+
+// AblationDecoder compares the blossom MWPM decoder against the greedy
+// matching baseline under a full-strength strike, quantifying what the
+// optimal matcher buys.
+func AblationDecoder(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title:  "Ablation: MWPM (blossom) vs greedy matching decoder",
+		Header: []string{"code", "decoder", "logical_error"},
+	}
+	codes := []*qec.Code{}
+	if c, err := qec.NewRepetition(15); err == nil {
+		codes = append(codes, c)
+	}
+	if c, err := qec.NewXXZZ(3, 3); err == nil {
+		codes = append(codes, c)
+	}
+	topo := arch.Mesh(5, 6)
+	for ci, code := range codes {
+		p, err := prepare(code, topo)
+		if err != nil {
+			return nil, err
+		}
+		ev := p.strikeAt(2, 1.0, true)
+		exec := inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev)
+		for _, dec := range []struct {
+			name   string
+			decode func([]int) int
+		}{
+			{"blossom", code.Decode},
+			{"union-find", code.DecodeUnionFind},
+			{"greedy", code.DecodeGreedy},
+		} {
+			camp := &inject.Campaign{
+				Exec:     exec,
+				Decode:   dec.decode,
+				Expected: code.ExpectedLogical(),
+				Workers:  cfg.Workers,
+			}
+			r := camp.Run(cfg.Seed+uint64(ci), cfg.Shots)
+			t.Add(code.Name, dec.name, pct(r.Rate()))
+		}
+	}
+	return t, nil
+}
+
+// AblationTemporalSamples sweeps ns, the step-approximation resolution
+// of the temporal decay (paper picks 10 as the accuracy/cost trade-off).
+func AblationTemporalSamples(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title:  "Ablation: temporal sample count ns",
+		Header: []string{"ns", "mean_logical_error_over_evolution"},
+	}
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		return nil, err
+	}
+	for _, ns := range []int{2, 5, 10, 20, 40} {
+		sub := cfg
+		sub.NS = ns
+		rates := p.evolutionRates(sub, Fig5Root, true, cfg.Seed+uint64(ns))
+		t.Add(fmt.Sprintf("%d", ns), pct(stats.Mean(rates)))
+	}
+	return t, nil
+}
+
+// AblationRounds sweeps the number of stabilization rounds: more rounds
+// give the decoder more time-like context but also lengthen the
+// radiation exposure window.
+func AblationRounds(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title:  "Ablation: stabilization rounds",
+		Header: []string{"code", "rounds", "logical_error_at_impact", "two_qubit_gates"},
+	}
+	topo := arch.Mesh(5, 6)
+	for _, rounds := range []int{2, 3, 4, 6} {
+		code, err := qec.NewRepetitionRounds(15, rounds)
+		if err != nil {
+			return nil, err
+		}
+		p, err := prepare(code, topo)
+		if err != nil {
+			return nil, err
+		}
+		ev := p.strikeAt(12, 1.0, true)
+		rate := p.rate(cfg, ev, cfg.Seed+uint64(rounds))
+		t.Add(code.Name, fmt.Sprintf("%d", rounds), pct(rate),
+			fmt.Sprintf("%d", p.tr.Circuit.CountTwoQubit()))
+	}
+	return t, nil
+}
+
+// AblationLayout compares the compact BFS initial layout against the
+// trivial identity layout through routing overhead and logical error.
+func AblationLayout(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title:  "Ablation: initial layout strategy (routing overhead)",
+		Header: []string{"code", "architecture", "layout", "swaps", "logical_error_at_impact"},
+	}
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	topos := []arch.Topology{arch.Cairo(), arch.Brooklyn()}
+	for ti, topo := range topos {
+		for _, strat := range []struct {
+			name string
+			s    arch.LayoutStrategy
+		}{{"compact", arch.LayoutCompact}, {"trivial", arch.LayoutTrivial}} {
+			tr, err := arch.TranspileWithLayout(code.Circ, topo, strat.s)
+			if err != nil {
+				return nil, err
+			}
+			p := &prepared{code: code, tr: tr, dist: topo.Graph.AllPairsShortestPaths()}
+			ev := p.strikeAt(tr.Initial.LogToPhys[2], 1.0, true)
+			rate := p.rate(cfg, ev, cfg.Seed+uint64(ti)*31)
+			t.Add(code.Name, topo.Name, strat.name,
+				fmt.Sprintf("%d", tr.SwapCount), pct(rate))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,212 @@
+// Package exp implements one experiment per figure of the paper's
+// evaluation (Figures 3-8), on top of the code builders, the
+// transpiler, the fault injector and the MWPM decoder. Every experiment
+// returns a Table whose rows reproduce the series the figure plots.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"radqec/internal/arch"
+	"radqec/internal/inject"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+	"radqec/internal/stats"
+)
+
+// Config controls campaign sizes and reproducibility.
+type Config struct {
+	// Shots per measured point. The paper uses millions; the default
+	// (2000) already resolves every qualitative shape.
+	Shots int
+	// Seed makes campaigns reproducible; distinct points derive
+	// distinct streams from it.
+	Seed uint64
+	// Workers caps shot parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// P is the intrinsic physical error rate (Section IV-C fixes 1%).
+	P float64
+	// NS is the temporal sample count of the step decay (paper: 10).
+	NS int
+}
+
+// Defaults returns cfg with unset fields replaced by the paper's
+// defaults.
+func (c Config) Defaults() Config {
+	if c.Shots <= 0 {
+		c.Shots = 2000
+	}
+	if c.P == 0 {
+		c.P = 0.01
+	}
+	if c.NS <= 0 {
+		c.NS = noise.DefaultSamples
+	}
+	return c
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry observations derived from the rows.
+	Notes []string
+}
+
+// Add appends a formatted row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as comma-separated values.
+func (t *Table) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// pct formats a rate as a percentage.
+func pct(r float64) string { return fmt.Sprintf("%.2f%%", 100*r) }
+
+// prepared couples a code with its routed circuit on a topology.
+type prepared struct {
+	code *qec.Code
+	tr   *arch.Transpiled
+	dist [][]int // all-pairs distances of the topology
+}
+
+func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
+	tr, err := arch.Transpile(code.Circ, topo)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{code: code, tr: tr, dist: topo.Graph.AllPairsShortestPaths()}, nil
+}
+
+// campaign builds the injection campaign for a radiation event.
+func (p *prepared) campaign(cfg Config, ev *noise.RadiationEvent) *inject.Campaign {
+	return &inject.Campaign{
+		Exec:     inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev),
+		Decode:   p.code.Decode,
+		Expected: p.code.ExpectedLogical(),
+		Workers:  cfg.Workers,
+	}
+}
+
+// rate estimates the logical error rate under one radiation event.
+func (p *prepared) rate(cfg Config, ev *noise.RadiationEvent, seed uint64) float64 {
+	return p.campaign(cfg, ev).Run(seed, cfg.Shots).Rate()
+}
+
+// strikeAt builds the radiation event for a strike rooted at physical
+// qubit root with the given root probability.
+func (p *prepared) strikeAt(root int, rootProb float64, spread bool) *noise.RadiationEvent {
+	return noise.NewRadiationEvent(p.dist[root], rootProb, spread)
+}
+
+// evolutionRates returns the per-temporal-sample logical error rates of
+// a full strike evolution rooted at the given physical qubit.
+func (p *prepared) evolutionRates(cfg Config, root int, spread bool, seed uint64) []float64 {
+	samples := noise.TemporalSamples(cfg.NS)
+	rates := make([]float64, len(samples))
+	for k, rootProb := range samples {
+		ev := p.strikeAt(root, rootProb, spread)
+		rates[k] = p.rate(cfg, ev, seed+uint64(k)*7919)
+	}
+	return rates
+}
+
+// usedRoots returns the physical qubits hosting circuit activity, the
+// candidate strike roots.
+func (p *prepared) usedRoots() []int { return p.tr.Used() }
+
+// medianOverRoots computes, per root, the median-over-time logical error
+// of a full strike evolution, returning roots and their medians.
+func (p *prepared) medianOverRoots(cfg Config, seed uint64) ([]int, []float64) {
+	roots := p.usedRoots()
+	medians := make([]float64, len(roots))
+	for i, root := range roots {
+		rates := p.evolutionRates(cfg, root, true, seed+uint64(i)*104729)
+		medians[i] = stats.Median(rates)
+	}
+	return roots, medians
+}
+
+// subgraphEvent builds the "hypernode" event of Figures 6-7: every qubit
+// in the member set is reset with probability rootProb, nothing spreads.
+func subgraphEvent(numQubits int, members []int, rootProb float64) *noise.RadiationEvent {
+	probs := make([]float64, numQubits)
+	for _, q := range members {
+		probs[q] = rootProb
+	}
+	return &noise.RadiationEvent{Probs: probs}
+}
+
+// sampleUsedSubgraphs samples connected size-k subgraphs of the topology
+// restricted to the used physical qubits.
+func (p *prepared) sampleUsedSubgraphs(k, count int, src *rng.Source) [][]int {
+	used := p.usedRoots()
+	idx := make(map[int]int, len(used))
+	for i, q := range used {
+		idx[q] = i
+	}
+	sub := newInducedGraph(p.tr, used, idx)
+	samples := sub.SampleConnectedSubgraphs(k, count, src)
+	out := make([][]int, len(samples))
+	for i, s := range samples {
+		mapped := make([]int, len(s))
+		for j, v := range s {
+			mapped[j] = used[v]
+		}
+		out[i] = mapped
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"radqec/internal/arch"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+	"radqec/internal/stats"
+)
+
+// quickCfg keeps campaign sizes small enough for the test suite while
+// leaving every qualitative shape resolvable.
+var quickCfg = Config{Shots: 200, Seed: 12345}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Shots != 2000 || c.P != 0.01 || c.NS != 10 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{Shots: 5, P: 0.3, NS: 4}.Defaults()
+	if c.Shots != 5 || c.P != 0.3 || c.NS != 4 {
+		t.Fatal("explicit values overridden")
+	}
+}
+
+func TestTableWriteText(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"hello"},
+	}
+	tab.Add("1", "2")
+	var buf bytes.Buffer
+	tab.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Header: []string{"x", "y"}}
+	tab.Add("1", `va"l,ue`)
+	var buf bytes.Buffer
+	tab.WriteCSV(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"va""l,ue"`) {
+		t.Fatalf("csv escaping wrong: %q", out)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := Fig3(Config{})
+	if len(tab.Rows) != 51 {
+		t.Fatalf("fig3 rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1.000000" {
+		t.Fatalf("T(0) = %s", tab.Rows[0][1])
+	}
+	// T strictly decreasing along the rows.
+	prev := 2.0
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatal("T(t) not strictly decreasing")
+		}
+		prev = v
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := Fig4(Config{})
+	if len(tab.Rows) != 11 {
+		t.Fatalf("fig4 rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1.000000" {
+		t.Fatalf("S(0) = %s", tab.Rows[0][1])
+	}
+	if tab.Rows[1][1] != "0.250000" {
+		t.Fatalf("S(1) = %s", tab.Rows[1][1])
+	}
+}
+
+func TestSubgraphEvent(t *testing.T) {
+	ev := subgraphEvent(6, []int{1, 4}, 0.7)
+	want := []float64{0, 0.7, 0, 0, 0.7, 0}
+	for i, p := range ev.Probs {
+		if p != want[i] {
+			t.Fatalf("probs = %v", ev.Probs)
+		}
+	}
+}
+
+func TestPreparedHelpers(t *testing.T) {
+	code, err := qec.NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.usedRoots()) < code.NumQubits() {
+		t.Fatalf("used roots = %v", p.usedRoots())
+	}
+	// Clean campaign: no radiation, no noise -> zero error.
+	cfg := quickCfg
+	cfg.P = 1e-12
+	rate := p.rate(cfg.Defaults(), noise.NoRadiation(p.tr.Circuit.NumQubits), 1)
+	if rate != 0 {
+		t.Fatalf("clean rate = %v", rate)
+	}
+}
+
+func TestSampleUsedSubgraphsStayInUsedSet(t *testing.T) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, q := range p.usedRoots() {
+		used[q] = true
+	}
+	subs := p.sampleUsedSubgraphs(5, 10, rng.New(3))
+	if len(subs) == 0 {
+		t.Fatal("no subgraphs sampled")
+	}
+	for _, s := range subs {
+		if len(s) != 5 {
+			t.Fatalf("size = %d", len(s))
+		}
+		for _, q := range s {
+			if !used[q] {
+				t.Fatalf("subgraph leaked outside used set: %v", s)
+			}
+		}
+	}
+}
+
+// --- Observation tests: the paper's qualitative claims ---
+
+// Observation I: particle impacts undermine surface codes regardless of
+// the intrinsic physical error rate. Even at p=1e-8 the logical error at
+// impact stays high.
+func TestObservationI(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg.Defaults()
+	cfg.Shots = 400
+	cfg.P = 1e-8
+	ev := p.strikeAt(Fig5Root, 1.0, true)
+	rate := p.rate(cfg, ev, 9)
+	if rate < 0.10 {
+		t.Fatalf("impact logical error at p=1e-8 = %v, want >= 10%%", rate)
+	}
+}
+
+// Observation II: noise and radiation interfere constructively only —
+// cranking the physical error rate up never lowers the logical error
+// (within statistical margin). Tested on the paper's Figure 5a setup,
+// whose rates sit below the 50% saturation point; above saturation any
+// extra randomness regresses toward a coin flip (see EXPERIMENTS.md).
+func TestObservationII(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg.Defaults()
+	cfg.Shots = 500
+	ev := p.strikeAt(Fig5Root, 1.0, true)
+	cfg.P = 1e-8
+	quiet := p.rate(cfg, ev, 11)
+	cfg.P = 1e-1
+	loud := p.rate(cfg, ev, 11)
+	if loud < quiet-0.05 {
+		t.Fatalf("noise lowered the logical error: p=1e-1 %.3f vs p=1e-8 %.3f", loud, quiet)
+	}
+	// And on the quiet tail of the fault, noise alone must still raise
+	// the error floor.
+	tail := p.strikeAt(Fig5Root, noise.Temporal(0.9), true)
+	cfg.P = 1e-8
+	tailQuiet := p.rate(cfg, tail, 13)
+	cfg.P = 1e-1
+	tailLoud := p.rate(cfg, tail, 13)
+	if tailLoud <= tailQuiet {
+		t.Fatalf("intrinsic noise floor missing: %.3f vs %.3f", tailLoud, tailQuiet)
+	}
+}
+
+// Observation III (XXZZ family): larger codes are more sensitive to the
+// same fault intensity — (3,5) degrades versus (3,3).
+func TestObservationIII(t *testing.T) {
+	topo := arch.Mesh(5, 6)
+	cfg := quickCfg.Defaults()
+	med := func(dZ, dX int) float64 {
+		code, err := qec.NewXXZZ(dZ, dX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := prepare(code, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rates []float64
+		for ri, root := range p.usedRoots() {
+			ev := p.strikeAt(root, 1.0, false)
+			rates = append(rates, p.rate(cfg, ev, uint64(1000+ri)))
+		}
+		return stats.Median(rates)
+	}
+	small, large := med(3, 3), med(3, 5)
+	if large <= small {
+		t.Fatalf("xxzz-(3,5) (%.3f) should exceed xxzz-(3,3) (%.3f)", large, small)
+	}
+}
+
+// Observation IV: bit-flip protection beats phase-flip protection for
+// like-sized codes under reset faults: (3,1) < (1,3) and (5,3) < (3,5).
+func TestObservationIV(t *testing.T) {
+	topo := arch.Mesh(5, 6)
+	cfg := quickCfg.Defaults()
+	med := func(dZ, dX int) float64 {
+		code, err := qec.NewXXZZ(dZ, dX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := prepare(code, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rates []float64
+		for ri, root := range p.usedRoots() {
+			ev := p.strikeAt(root, 1.0, false)
+			rates = append(rates, p.rate(cfg, ev, uint64(2000+ri)))
+		}
+		return stats.Median(rates)
+	}
+	if bit, phase := med(3, 1), med(1, 3); bit >= phase {
+		t.Fatalf("xxzz-(3,1) (%.3f) should beat xxzz-(1,3) (%.3f)", bit, phase)
+	}
+	if bit, phase := med(5, 3), med(3, 5); bit >= phase {
+		t.Fatalf("xxzz-(5,3) (%.3f) should beat xxzz-(3,5) (%.3f)", bit, phase)
+	}
+}
+
+// Observations V and VI: a single spreading fault is worse than several
+// independent erasures; only erasing more than half the qubits overtakes
+// it (the threshold effect).
+func TestObservationVVI(t *testing.T) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg.Defaults()
+	// Spreading strike at a data-heavy root.
+	ev := p.strikeAt(p.usedRoots()[0], 1.0, true)
+	spread := p.rate(cfg, ev, 31)
+	// A couple of independent erasures.
+	src := rng.New(17)
+	subs := p.sampleUsedSubgraphs(2, 6, src)
+	var small []float64
+	for si, members := range subs {
+		small = append(small, p.rate(cfg, subgraphEvent(p.tr.Circuit.NumQubits, members, 1.0), uint64(40+si)))
+	}
+	if spread <= stats.Median(small) {
+		t.Fatalf("spreading fault (%.3f) should exceed 2-qubit erasures (%.3f)", spread, stats.Median(small))
+	}
+	// Erasing most of the chip overtakes the single spreading fault.
+	bigSubs := p.sampleUsedSubgraphs(15, 4, src)
+	var big []float64
+	for si, members := range bigSubs {
+		big = append(big, p.rate(cfg, subgraphEvent(p.tr.Circuit.NumQubits, members, 1.0), uint64(60+si)))
+	}
+	if stats.Median(big) <= spread {
+		t.Fatalf("15-qubit erasure (%.3f) should exceed the single spreading fault (%.3f)", stats.Median(big), spread)
+	}
+}
+
+// Observation VII: qubits used earlier in the gate sequence are more
+// critical radiation targets than ones used later.
+func TestObservationVII(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg.Defaults()
+	cfg.Shots = 400
+	// Strike the physical home of the first-used data qubit versus the
+	// last-used data qubit, with full spread and time evolution.
+	first := p.tr.Initial.LogToPhys[code.Data.Start]
+	last := p.tr.Initial.LogToPhys[code.Data.Start+code.Data.Size-1]
+	early := stats.Mean(p.evolutionRates(cfg, first, true, 71))
+	late := stats.Mean(p.evolutionRates(cfg, last, true, 72))
+	if early < late-0.05 {
+		t.Fatalf("early-qubit strike (%.3f) should not be milder than late-qubit strike (%.3f)", early, late)
+	}
+}
+
+// Observation VIII: degree-starved topologies inflate SWAP counts for
+// the XXZZ code (whose stabilizers need degree >= 4), and well-connected
+// ones contain the fault spread.
+func TestObservationVIII(t *testing.T) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trLinear, err := arch.Transpile(code.Circ, arch.Linear(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trComplete, err := arch.Transpile(code.Circ.Clone(), arch.Complete(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trLinear.SwapCount <= trComplete.SwapCount {
+		t.Fatalf("linear swaps (%d) should exceed complete swaps (%d)",
+			trLinear.SwapCount, trComplete.SwapCount)
+	}
+	if trComplete.SwapCount != 0 {
+		t.Fatalf("complete topology required %d swaps", trComplete.SwapCount)
+	}
+}
+
+// The ablation harnesses must run and produce full tables.
+func TestAblationsRun(t *testing.T) {
+	cfg := Config{Shots: 60, Seed: 5}
+	if tab, err := AblationDecoder(cfg); err != nil || len(tab.Rows) != 6 {
+		t.Fatalf("decoder ablation: %v rows=%d", err, len(tab.Rows))
+	}
+	if tab, err := AblationTemporalSamples(cfg); err != nil || len(tab.Rows) != 5 {
+		t.Fatalf("ns ablation: %v", err)
+	}
+	if tab, err := AblationLayout(cfg); err != nil || len(tab.Rows) != 4 {
+		t.Fatalf("layout ablation: %v", err)
+	}
+	if tab, err := AblationRounds(cfg); err != nil || len(tab.Rows) != 4 {
+		t.Fatalf("rounds ablation: %v", err)
+	}
+}
+
+func TestFig5RunsSmall(t *testing.T) {
+	tab, err := Fig5(Config{Shots: 20, Seed: 2, NS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 codes x 8 rates x 3 samples.
+	if len(tab.Rows) != 48 {
+		t.Fatalf("fig5 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig6RunsSmall(t *testing.T) {
+	tab, err := Fig6(Config{Shots: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("fig6 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig7RunsSmall(t *testing.T) {
+	tab, err := Fig7(Config{Shots: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("fig7 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig8SummaryRunsSmall(t *testing.T) {
+	tab, err := Fig8Summary(Config{Shots: 5, Seed: 2, NS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 repetition topologies + 7 xxzz topologies.
+	if len(tab.Rows) != 12 {
+		t.Fatalf("fig8 rows = %d", len(tab.Rows))
+	}
+}

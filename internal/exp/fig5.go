@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+
+	"radqec/internal/arch"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/stats"
+)
+
+// Fig5PhysicalRates are the intrinsic physical error rates swept along
+// one ground axis of Figure 5 (1e-8 up to 1e-1).
+func Fig5PhysicalRates() []float64 {
+	return []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+}
+
+// Fig5Root is the paper's deterministic root injection point.
+const Fig5Root = 2
+
+// Fig5 reproduces Figure 5: the logical-error landscape of the
+// distance-(5,1) repetition code (on a 5x2 lattice) and the
+// distance-(3,3) XXZZ code (on a 5x4 lattice) over the intrinsic
+// physical error rate and the radiation fault's time evolution, with the
+// strike rooted at qubit index 2.
+func Fig5(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title: "Figure 5: logical error landscape (noise x radiation)",
+		Header: []string{
+			"code", "phys_rate", "sample", "root_prob", "logical_error",
+		},
+	}
+	type job struct {
+		code *qec.Code
+		topo arch.Topology
+	}
+	rep, err := qec.NewRepetition(5)
+	if err != nil {
+		return nil, err
+	}
+	xxzz, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []job{
+		{rep, arch.Mesh(5, 2)},
+		{xxzz, arch.Mesh(5, 4)},
+	}
+	samples := noise.TemporalSamples(cfg.NS)
+	for ji, j := range jobs {
+		p, err := prepare(j.code, j.topo)
+		if err != nil {
+			return nil, err
+		}
+		var impactRates []float64
+		for pi, phys := range Fig5PhysicalRates() {
+			sub := cfg
+			sub.P = phys
+			for k, rootProb := range samples {
+				ev := p.strikeAt(Fig5Root, rootProb, true)
+				seed := cfg.Seed + uint64(ji*1000003+pi*1009+k*13)
+				rate := p.rate(sub, ev, seed)
+				t.Add(j.code.Name,
+					fmt.Sprintf("%.0e", phys),
+					fmt.Sprintf("%d", k),
+					fmt.Sprintf("%.4f", rootProb),
+					pct(rate))
+				if k == 0 {
+					impactRates = append(impactRates, rate)
+				}
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: mean logical error at impact (root prob 100%%) across phys rates = %s",
+			j.code.Name, pct(stats.Mean(impactRates))))
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+
+	"radqec/internal/arch"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+	"radqec/internal/stats"
+)
+
+// Fig7SubgraphSamples is how many connected subgraphs are sampled per
+// corruption size.
+const Fig7SubgraphSamples = 12
+
+// Fig7 reproduces Figure 7: the logical error caused by k simultaneous
+// erasure (reset) faults — injected into connected size-k subgraphs of
+// the 5x6 lattice, median across subgraphs — compared against the
+// logical error of a single *spreading* radiation fault at t=0 (the red
+// line of the figure), for the distance-(15,1) repetition code and the
+// distance-(3,3) XXZZ code.
+func Fig7(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title: "Figure 7: correlated spread vs multiple independent erasures (t=0)",
+		Header: []string{
+			"code", "corrupted_qubits", "mean_logical_error", "median_logical_error", "spreading_fault_reference",
+		},
+	}
+	type job struct {
+		code *qec.Code
+		ks   []int
+	}
+	rep, err := qec.NewRepetition(15)
+	if err != nil {
+		return nil, err
+	}
+	xxzz, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []job{
+		{rep, []int{1, 10, 11, 15, 16}},
+		{xxzz, []int{1, 9, 10, 14, 15}},
+	}
+	topo := arch.Mesh(5, 6)
+	for ji, j := range jobs {
+		p, err := prepare(j.code, topo)
+		if err != nil {
+			return nil, err
+		}
+		// Red line: single spreading strike at t=0, median over roots.
+		roots := p.usedRoots()
+		var spreadRates []float64
+		for ri, root := range roots {
+			ev := p.strikeAt(root, 1.0, true)
+			spreadRates = append(spreadRates, p.rate(cfg, ev, cfg.Seed+uint64(ji*7+ri)*613))
+		}
+		reference := stats.Median(spreadRates)
+		src := rng.New(cfg.Seed + uint64(ji) + 555)
+		for _, k := range j.ks {
+			subs := p.sampleUsedSubgraphs(k, Fig7SubgraphSamples, src)
+			if len(subs) == 0 {
+				t.Add(j.code.Name, fmt.Sprintf("%d", k), "n/a", "n/a (no size-k subgraph)", pct(reference))
+				continue
+			}
+			var rates []float64
+			for si, members := range subs {
+				ev := subgraphEvent(p.tr.Circuit.NumQubits, members, 1.0)
+				seed := cfg.Seed + uint64(ji*31337+k*769+si*97)
+				rates = append(rates, p.rate(cfg, ev, seed))
+			}
+			t.Add(j.code.Name, fmt.Sprintf("%d", k),
+				pct(stats.Mean(rates)), pct(stats.Median(rates)), pct(reference))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"radqec/internal/arch"
+	"radqec/internal/qec"
+	"radqec/internal/stats"
+)
+
+// Fig8RepTopologies lists the architectures the distance-(11,1)
+// repetition code (22 qubits) is transpiled onto in Figure 8a.
+func Fig8RepTopologies() []arch.Topology {
+	return []arch.Topology{
+		arch.Linear(22),
+		arch.Mesh(5, 6),
+		arch.Brooklyn(),
+		arch.Cairo(),
+		arch.Cambridge(),
+	}
+}
+
+// Fig8XXZZTopologies lists the architectures the distance-(3,3) XXZZ
+// code (18 qubits) is transpiled onto in Figure 8b.
+func Fig8XXZZTopologies() []arch.Topology {
+	return []arch.Topology{
+		arch.Complete(18),
+		arch.Linear(18),
+		arch.Mesh(5, 4),
+		arch.Almaden(),
+		arch.Brooklyn(),
+		arch.Cambridge(),
+		arch.Johannesburg(),
+	}
+}
+
+// Fig8 reproduces Figure 8: per-root-injection-point median logical
+// error (over the fault's full time evolution) across hardware
+// architectures, for the distance-(11,1) repetition code and the
+// distance-(3,3) XXZZ code. Each used physical qubit acts as the strike
+// root once; the node value is the median logical error over the ns
+// temporal samples.
+func Fig8(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title: "Figure 8: logical error rate by corrupted qubit on different architectures",
+		Header: []string{
+			"code", "architecture", "swaps", "phys_qubit", "role", "median_logical_error",
+		},
+	}
+	type job struct {
+		code  *qec.Code
+		topos []arch.Topology
+	}
+	rep, err := qec.NewRepetition(11)
+	if err != nil {
+		return nil, err
+	}
+	xxzz, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []job{
+		{rep, Fig8RepTopologies()},
+		{xxzz, Fig8XXZZTopologies()},
+	}
+	for ji, j := range jobs {
+		for ti, topo := range j.topos {
+			p, err := prepare(j.code, topo)
+			if err != nil {
+				return nil, err
+			}
+			roots, medians := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			for i, root := range roots {
+				role := p.tr.RoleOf(root)
+				if role == "" {
+					role = "route"
+				}
+				t.Add(j.code.Name, topo.Name,
+					fmt.Sprintf("%d", p.tr.SwapCount),
+					fmt.Sprintf("%d", root), role, pct(medians[i]))
+			}
+			lo, hi := stats.MinMax(medians)
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s on %s: median %s, range [%s, %s], %d SWAPs",
+				j.code.Name, topo.Name, pct(stats.Median(medians)), pct(lo), pct(hi), p.tr.SwapCount))
+		}
+	}
+	return t, nil
+}
+
+// Fig8Summary aggregates Fig8 to one row per (code, architecture):
+// the min/median/max of the per-root medians, plus routing overhead.
+func Fig8Summary(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title: "Figure 8 (summary): architecture comparison",
+		Header: []string{
+			"code", "architecture", "swaps", "two_qubit_gates", "min", "median", "max",
+		},
+	}
+	type job struct {
+		code  *qec.Code
+		topos []arch.Topology
+	}
+	rep, err := qec.NewRepetition(11)
+	if err != nil {
+		return nil, err
+	}
+	xxzz, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []job{
+		{rep, Fig8RepTopologies()},
+		{xxzz, Fig8XXZZTopologies()},
+	}
+	for ji, j := range jobs {
+		for ti, topo := range j.topos {
+			p, err := prepare(j.code, topo)
+			if err != nil {
+				return nil, err
+			}
+			_, medians := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			lo, hi := stats.MinMax(medians)
+			t.Add(j.code.Name, topo.Name,
+				fmt.Sprintf("%d", p.tr.SwapCount),
+				fmt.Sprintf("%d", p.tr.Circuit.CountTwoQubit()),
+				pct(lo), pct(stats.Median(medians)), pct(hi))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,20 @@
+package exp
+
+import (
+	"radqec/internal/arch"
+	"radqec/internal/graph"
+)
+
+// newInducedGraph builds the subgraph of the topology induced by the
+// used physical qubits, re-indexed densely through idx.
+func newInducedGraph(tr *arch.Transpiled, used []int, idx map[int]int) *graph.Graph {
+	g := graph.New(len(used))
+	for _, q := range used {
+		for _, w := range tr.Topo.Graph.Neighbors(q) {
+			if j, ok := idx[w]; ok {
+				g.AddEdge(idx[q], j)
+			}
+		}
+	}
+	return g
+}

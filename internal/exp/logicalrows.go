@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+
+	"radqec/internal/logical"
+)
+
+// logicalLayerRows runs the logical-layer workloads for the LogicalLayer
+// experiment with the given patch model parameters.
+func logicalLayerRows(cfg Config, impact, residual float64) ([][]string, error) {
+	inj, err := logical.NewInjector(logical.PatchModel{
+		LogicalErrorAtImpact: impact,
+		IdleError:            residual,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	// Five logical patches in a line: patch-graph distance |i-j|.
+	const patches = 5
+	ghz := logical.GHZCircuit(patches)
+	for struck := 0; struck < patches; struck++ {
+		dist := make([]int, patches)
+		for q := range dist {
+			d := q - struck
+			if d < 0 {
+				d = -d
+			}
+			dist[q] = d
+		}
+		inj.SetStrike(dist, 1.0)
+		camp := &logical.Campaign{Injector: inj, Circuit: ghz, Accept: logical.GHZAccept}
+		rate := camp.Run(cfg.Seed+uint64(struck), cfg.Shots)
+		inj.SetStrike(nil, 0)
+		baseline := camp.Run(cfg.Seed+uint64(struck)+100, cfg.Shots)
+		rows = append(rows, []string{
+			fmt.Sprintf("ghz-%d", patches),
+			fmt.Sprintf("%d", struck),
+			pct(rate), pct(baseline),
+		})
+	}
+	// Teleportation across three patches, strike on the middle one.
+	tele := logical.TeleportCircuit()
+	inj.SetStrike([]int{1, 0, 1}, 1.0)
+	camp := &logical.Campaign{Injector: inj, Circuit: tele, Accept: logical.TeleportAccept}
+	rate := camp.Run(cfg.Seed+55, cfg.Shots)
+	inj.SetStrike(nil, 0)
+	baseline := camp.Run(cfg.Seed+56, cfg.Shots)
+	rows = append(rows, []string{"teleport", "1", pct(rate), pct(baseline)})
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+package frame
+
+import (
+	"runtime"
+	"sync"
+
+	"radqec/internal/rng"
+)
+
+// Campaign estimates logical error rates with the frame engine; it
+// mirrors inject.Campaign (same seed → shot stream mapping) but runs
+// each shot in O(gates) instead of O(gates·n).
+type Campaign struct {
+	// Sim samples the shots.
+	Sim *Simulator
+	// Decode maps a shot's classical record to the decoded logical value.
+	Decode func(bits []int) int
+	// Expected is the fault-free decoded output.
+	Expected int
+	// Workers caps parallel shot runners; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result mirrors inject.Result.
+type Result struct {
+	Shots, Errors int
+}
+
+// Rate returns the logical error rate.
+func (r Result) Rate() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Shots)
+}
+
+// Run executes shots deterministically: shot i consumes stream
+// split(seed, i) regardless of worker count.
+func (c *Campaign) Run(seed uint64, shots int) Result {
+	if shots <= 0 {
+		return Result{}
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	master := rng.New(seed)
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := NewFrame(c.Sim.circ.NumQubits)
+			bits := make([]int, c.Sim.circ.NumClbits)
+			local := Result{}
+			for shot := w; shot < shots; shot += workers {
+				src := master.Split(uint64(shot))
+				for i := range bits {
+					bits[i] = 0
+				}
+				c.Sim.Run(src, f, bits)
+				local.Shots++
+				if c.Decode(bits) != c.Expected {
+					local.Errors++
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := Result{}
+	for _, r := range results {
+		total.Shots += r.Shots
+		total.Errors += r.Errors
+	}
+	return total
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"sort"
+
+	"radqec/internal/rng"
+)
+
+// ConnectedSubgraphs enumerates every connected induced subgraph with
+// exactly k vertices, up to limit results (limit <= 0 means unlimited).
+// Each result is a sorted vertex list. The enumeration is deterministic.
+//
+// The paper builds its "hypernode" fault groups (Figures 6 and 7) by
+// selecting connected subgraphs of the 5x6 architecture lattice and
+// resetting every qubit inside the group simultaneously.
+func (g *Graph) ConnectedSubgraphs(k, limit int) [][]int {
+	if k <= 0 || k > g.n {
+		return nil
+	}
+	var out [][]int
+	// Standard enumeration without duplicates: grow each subgraph only
+	// from its numerically smallest root, and only add neighbors larger
+	// than the root.
+	for root := 0; root < g.n; root++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		cur := []int{root}
+		inCur := map[int]bool{root: true}
+		frontier := g.extendCandidates(cur, inCur, root)
+		g.growSubgraphs(cur, inCur, frontier, root, k, limit, &out)
+	}
+	return out
+}
+
+// extendCandidates lists vertices adjacent to cur, greater than root and
+// not already chosen, in ascending order.
+func (g *Graph) extendCandidates(cur []int, inCur map[int]bool, root int) []int {
+	seen := map[int]bool{}
+	var cands []int
+	for _, u := range cur {
+		for _, v := range g.adj[u] {
+			if v > root && !inCur[v] && !seen[v] {
+				seen[v] = true
+				cands = append(cands, v)
+			}
+		}
+	}
+	sort.Ints(cands)
+	return cands
+}
+
+func (g *Graph) growSubgraphs(cur []int, inCur map[int]bool, frontier []int, root, k, limit int, out *[][]int) {
+	if limit > 0 && len(*out) >= limit {
+		return
+	}
+	if len(cur) == k {
+		snapshot := append([]int(nil), cur...)
+		sort.Ints(snapshot)
+		*out = append(*out, snapshot)
+		return
+	}
+	// Choose the next vertex from the frontier; to avoid duplicates each
+	// candidate may only be taken while earlier candidates are excluded.
+	for i, v := range frontier {
+		cur = append(cur, v)
+		inCur[v] = true
+		// New frontier: remaining candidates after v, plus v's unseen
+		// neighbors.
+		next := append([]int(nil), frontier[i+1:]...)
+		for _, w := range g.adj[v] {
+			if w > root && !inCur[w] && !containsSorted(next, w) {
+				next = append(next, w)
+			}
+		}
+		sort.Ints(next)
+		g.growSubgraphs(cur, inCur, next, root, k, limit, out)
+		delete(inCur, v)
+		cur = cur[:len(cur)-1]
+		if limit > 0 && len(*out) >= limit {
+			return
+		}
+	}
+}
+
+func containsSorted(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// SampleConnectedSubgraphs returns up to count connected induced
+// subgraphs with k vertices, sampled by random BFS growth. Results may
+// repeat across draws but each returned set is connected and of size k.
+// It returns nil when no subgraph of size k exists from any root.
+func (g *Graph) SampleConnectedSubgraphs(k, count int, src *rng.Source) [][]int {
+	if k <= 0 || k > g.n || count <= 0 {
+		return nil
+	}
+	var out [][]int
+	const maxAttemptsPerSample = 64
+	for len(out) < count {
+		found := false
+		for attempt := 0; attempt < maxAttemptsPerSample; attempt++ {
+			if sg := g.randomGrow(k, src); sg != nil {
+				out = append(out, sg)
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+// randomGrow grows one connected set of size k from a random root, or
+// returns nil when the growth gets stuck (root's component smaller than k).
+func (g *Graph) randomGrow(k int, src *rng.Source) []int {
+	root := src.Intn(g.n)
+	chosen := map[int]bool{root: true}
+	var frontier []int
+	for _, v := range g.adj[root] {
+		frontier = append(frontier, v)
+	}
+	for len(chosen) < k {
+		// Drop frontier entries that were chosen through another path.
+		live := frontier[:0]
+		for _, v := range frontier {
+			if !chosen[v] {
+				live = append(live, v)
+			}
+		}
+		frontier = live
+		if len(frontier) == 0 {
+			return nil
+		}
+		i := src.Intn(len(frontier))
+		v := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		chosen[v] = true
+		for _, w := range g.adj[v] {
+			if !chosen[w] {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,200 @@
+// Package inject executes quantum circuits under the paper's combined
+// noise processes — intrinsic depolarizing noise plus radiation-induced
+// reset faults — and estimates post-decoding logical error rates over
+// many shots. Campaigns are deterministic for a given seed regardless of
+// worker count: every shot owns an independent RNG stream split from the
+// campaign seed.
+package inject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"radqec/internal/circuit"
+	"radqec/internal/noise"
+	"radqec/internal/rng"
+)
+
+// Executor runs single shots of a circuit on a stabilizer tableau with
+// per-gate noise injection.
+type Executor struct {
+	circ *circuit.Circuit
+	dep  noise.Depolarizing
+	rad  *noise.RadiationEvent
+}
+
+// NewExecutor builds a shot executor. rad may be nil for noise-only runs.
+func NewExecutor(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.RadiationEvent) *Executor {
+	if rad == nil {
+		rad = noise.NoRadiation(circ.NumQubits)
+	}
+	if len(rad.Probs) != circ.NumQubits {
+		panic(fmt.Sprintf("inject: radiation table covers %d qubits, circuit has %d",
+			len(rad.Probs), circ.NumQubits))
+	}
+	return &Executor{circ: circ, dep: dep, rad: rad}
+}
+
+// Run executes one shot and returns the classical measurement record.
+// The caller owns src; identical sources reproduce identical shots.
+func (e *Executor) Run(src *rng.Source) []int {
+	tab := newPooledTableau(e.circ.NumQubits)
+	defer releaseTableau(tab)
+	bits := make([]int, e.circ.NumClbits)
+	e.RunInto(src, tab, bits)
+	return bits
+}
+
+// RunInto is Run with caller-provided state, for allocation-free loops.
+// tab must be freshly reset to |0...0>; bits must have NumClbits slots.
+func (e *Executor) RunInto(src *rng.Source, tab tableau, bits []int) {
+	for _, op := range e.circ.Ops {
+		switch op.Kind {
+		case circuit.KindH:
+			tab.H(op.Qubits[0])
+		case circuit.KindX:
+			tab.X(op.Qubits[0])
+		case circuit.KindY:
+			tab.Y(op.Qubits[0])
+		case circuit.KindZ:
+			tab.Z(op.Qubits[0])
+		case circuit.KindS:
+			tab.S(op.Qubits[0])
+		case circuit.KindCNOT:
+			tab.CNOT(op.Qubits[0], op.Qubits[1])
+		case circuit.KindCZ:
+			tab.CZ(op.Qubits[0], op.Qubits[1])
+		case circuit.KindSWAP:
+			tab.SWAP(op.Qubits[0], op.Qubits[1])
+		case circuit.KindMeasure:
+			bits[op.Clbit] = tab.MeasureZ(op.Qubits[0], src)
+		case circuit.KindReset:
+			tab.Reset(op.Qubits[0], src)
+		case circuit.KindBarrier:
+			continue // no noise on scheduling fences
+		}
+		// Intrinsic depolarizing noise: an independent E channel per
+		// involved qubit (E2 = E⊗E after two-qubit gates, Section III-A).
+		if e.dep.P > 0 {
+			for _, q := range op.Qubits {
+				switch e.dep.Sample(src) {
+				case noise.ErrX:
+					tab.X(q)
+				case noise.ErrY:
+					tab.Y(q)
+				case noise.ErrZ:
+					tab.Z(q)
+				}
+			}
+		}
+		// Radiation fault: a reset follows each gate on qubit q with
+		// probability p_q = F(t, d(root, q)) (Section III-B).
+		for _, q := range op.Qubits {
+			if e.rad.Fires(q, src) {
+				tab.Reset(q, src)
+			}
+		}
+	}
+}
+
+// tableau is the minimal stabilizer-simulator surface the executor needs.
+type tableau interface {
+	H(q int)
+	X(q int)
+	Y(q int)
+	Z(q int)
+	S(q int)
+	CNOT(a, b int)
+	CZ(a, b int)
+	SWAP(a, b int)
+	MeasureZ(q int, src *rng.Source) int
+	Reset(q int, src *rng.Source)
+	ResetState()
+	N() int
+}
+
+// Result summarises a campaign.
+type Result struct {
+	// Shots is the number of executed shots.
+	Shots int
+	// Errors is the number of shots whose decoded output was wrong.
+	Errors int
+}
+
+// Rate returns the logical error rate.
+func (r Result) Rate() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Shots)
+}
+
+// Merge accumulates another result into r.
+func (r *Result) Merge(o Result) {
+	r.Shots += o.Shots
+	r.Errors += o.Errors
+}
+
+// Campaign estimates the logical error rate of a decoded circuit under
+// an executor's noise processes.
+type Campaign struct {
+	// Exec runs the shots.
+	Exec *Executor
+	// Decode maps a shot's classical record to the decoded logical
+	// value.
+	Decode func(bits []int) int
+	// Expected is the fault-free decoded output (logical |1> = 1 in the
+	// paper's protocol).
+	Expected int
+	// Workers caps the parallel shot runners; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes shots shots with the given seed and returns the result.
+// The outcome is independent of Workers: shot i always consumes the RNG
+// stream split(seed, i).
+func (c *Campaign) Run(seed uint64, shots int) Result {
+	if shots <= 0 {
+		return Result{}
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	master := rng.New(seed)
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tab := newPooledTableau(c.Exec.circ.NumQubits)
+			defer releaseTableau(tab)
+			bits := make([]int, c.Exec.circ.NumClbits)
+			local := Result{}
+			for shot := w; shot < shots; shot += workers {
+				src := master.Split(uint64(shot))
+				tab.ResetState()
+				for i := range bits {
+					bits[i] = 0
+				}
+				c.Exec.RunInto(src, tab, bits)
+				local.Shots++
+				if c.Decode(bits) != c.Expected {
+					local.Errors++
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := Result{}
+	for _, r := range results {
+		total.Merge(r)
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package logical
+
+import (
+	"math"
+	"testing"
+
+	"radqec/internal/rng"
+)
+
+func TestPatchModelValidate(t *testing.T) {
+	if err := (PatchModel{LogicalErrorAtImpact: 0.3, IdleError: 0.001}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (PatchModel{LogicalErrorAtImpact: 1.5}).Validate(); err == nil {
+		t.Fatal("bad impact error accepted")
+	}
+	if err := (PatchModel{IdleError: -0.1}).Validate(); err == nil {
+		t.Fatal("bad idle error accepted")
+	}
+}
+
+func TestNewInjectorRejectsBadModel(t *testing.T) {
+	if _, err := NewInjector(PatchModel{LogicalErrorAtImpact: 2}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestGHZCleanRun(t *testing.T) {
+	in, err := NewInjector(PatchModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GHZCircuit(5)
+	for seed := uint64(0); seed < 100; seed++ {
+		bits := in.Run(c, rng.New(seed))
+		if !GHZAccept(bits) {
+			t.Fatalf("clean GHZ rejected: %v", bits)
+		}
+	}
+}
+
+func TestGHZAccept(t *testing.T) {
+	if !GHZAccept([]int{0, 0, 0}) || !GHZAccept([]int{1, 1, 1}) {
+		t.Fatal("valid GHZ records rejected")
+	}
+	if GHZAccept([]int{0, 1, 0}) {
+		t.Fatal("broken GHZ record accepted")
+	}
+}
+
+func TestTeleportCleanRun(t *testing.T) {
+	in, err := NewInjector(PatchModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TeleportCircuit()
+	for seed := uint64(0); seed < 200; seed++ {
+		bits := in.Run(c, rng.New(seed))
+		if !TeleportAccept(bits) {
+			t.Fatalf("clean teleport failed: %v", bits)
+		}
+	}
+}
+
+func TestIdleErrorDegradesGHZ(t *testing.T) {
+	in, err := NewInjector(PatchModel{IdleError: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := &Campaign{Injector: in, Circuit: GHZCircuit(5), Accept: GHZAccept}
+	rate := camp.Run(1, 2000)
+	if rate == 0 {
+		t.Fatal("idle error produced no failures")
+	}
+	if rate > 0.9 {
+		t.Fatalf("idle error rate implausibly high: %v", rate)
+	}
+}
+
+func TestStrikeSpreadsAcrossPatches(t *testing.T) {
+	in, err := NewInjector(PatchModel{LogicalErrorAtImpact: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear patch layout: strike patch 0 of 5.
+	in.SetStrike([]int{0, 1, 2, 3, 4}, 1.0)
+	camp := &Campaign{Injector: in, Circuit: GHZCircuit(5), Accept: GHZAccept}
+	struck := camp.Run(2, 2000)
+	in.SetStrike(nil, 0)
+	clean := camp.Run(2, 2000)
+	if struck <= clean {
+		t.Fatalf("strike did not degrade: struck %v vs clean %v", struck, clean)
+	}
+}
+
+func TestStrikeDecaysWithDistance(t *testing.T) {
+	model := PatchModel{LogicalErrorAtImpact: 0.6}
+	rate := func(dist []int) float64 {
+		in, err := NewInjector(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetStrike(dist, 1.0)
+		camp := &Campaign{Injector: in, Circuit: GHZCircuit(3), Accept: GHZAccept}
+		return camp.Run(5, 3000)
+	}
+	near := rate([]int{0, 1, 2})
+	far := rate([]int{5, 6, 7})
+	if far >= near {
+		t.Fatalf("distant strike (%v) not milder than direct hit (%v)", far, near)
+	}
+}
+
+func TestFlipProbClamping(t *testing.T) {
+	in, err := NewInjector(PatchModel{LogicalErrorAtImpact: 1, IdleError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetStrike([]int{0}, 1.0)
+	if p := in.flipProb(0); p != 1 {
+		t.Fatalf("flip prob = %v, want clamped 1", p)
+	}
+	// Out-of-range qubit only sees the idle floor.
+	if p := in.flipProb(5); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("idle-only prob = %v", p)
+	}
+}
+
+func TestCampaignZeroShots(t *testing.T) {
+	in, _ := NewInjector(PatchModel{})
+	camp := &Campaign{Injector: in, Circuit: GHZCircuit(2), Accept: GHZAccept}
+	if rate := camp.Run(1, 0); rate != 0 {
+		t.Fatalf("zero-shot rate = %v", rate)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	mk := func() float64 {
+		in, _ := NewInjector(PatchModel{IdleError: 0.02})
+		camp := &Campaign{Injector: in, Circuit: GHZCircuit(4), Accept: GHZAccept}
+		return camp.Run(42, 500)
+	}
+	if mk() != mk() {
+		t.Fatal("logical campaign not deterministic")
+	}
+}

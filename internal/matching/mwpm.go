@@ -1,0 +1,163 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinWeightPerfectMatching computes a perfect matching of minimum total
+// weight. It returns the matched pairs (each once, I < J by vertex
+// index) or an error when no perfect matching exists.
+//
+// This is the decoder primitive: the space-time syndrome graph pairs up
+// detection events (and boundary images) so that the total correction
+// weight is minimal, exactly as qtcodes does through networkx.
+func MinWeightPerfectMatching(nvertex int, edges []Edge) ([][2]int, error) {
+	if nvertex%2 != 0 {
+		return nil, fmt.Errorf("matching: perfect matching impossible on %d (odd) vertices", nvertex)
+	}
+	if nvertex == 0 {
+		return nil, nil
+	}
+	// Negate weights: a maximum-weight maximum-cardinality matching of
+	// the negated graph is a minimum-weight perfect matching of the
+	// original, whenever a perfect matching exists.
+	neg := make([]Edge, len(edges))
+	for i, e := range edges {
+		neg[i] = Edge{I: e.I, J: e.J, W: -e.W}
+	}
+	mate := maxWeightMatching(nvertex, neg, true)
+	var pairs [][2]int
+	for v, m := range mate {
+		if m == -1 {
+			return nil, fmt.Errorf("matching: vertex %d unmatched; no perfect matching", v)
+		}
+		if v < m {
+			pairs = append(pairs, [2]int{v, m})
+		}
+	}
+	if len(pairs) != nvertex/2 {
+		return nil, fmt.Errorf("matching: incomplete matching (%d pairs for %d vertices)", len(pairs), nvertex)
+	}
+	return pairs, nil
+}
+
+// MatchingWeight sums the weight of the given pairs using the edge list
+// (taking the minimum weight among parallel edges). Pairs without a
+// connecting edge contribute math.MaxInt64.
+func MatchingWeight(edges []Edge, pairs [][2]int) int64 {
+	w := make(map[[2]int]int64)
+	for _, e := range edges {
+		key := [2]int{e.I, e.J}
+		if e.J < e.I {
+			key = [2]int{e.J, e.I}
+		}
+		if old, ok := w[key]; !ok || e.W < old {
+			w[key] = e.W
+		}
+	}
+	var total int64
+	for _, p := range pairs {
+		key := p
+		if key[1] < key[0] {
+			key = [2]int{p[1], p[0]}
+		}
+		if wt, ok := w[key]; ok {
+			total += wt
+		} else {
+			return math.MaxInt64
+		}
+	}
+	return total
+}
+
+// GreedyPerfectMatching is the ablation baseline decoder: it sorts the
+// edges by weight and matches greedily. It is fast but not optimal; the
+// ablation bench quantifies the accuracy it gives up versus blossom.
+func GreedyPerfectMatching(nvertex int, edges []Edge) ([][2]int, error) {
+	if nvertex%2 != 0 {
+		return nil, fmt.Errorf("matching: perfect matching impossible on %d (odd) vertices", nvertex)
+	}
+	sorted := append([]Edge(nil), edges...)
+	// Insertion sort keeps this dependency-free and is fine for decoder
+	// graph sizes; swap in sort.Slice if profiles ever say otherwise.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].W < sorted[j-1].W; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	matched := make([]bool, nvertex)
+	var pairs [][2]int
+	for _, e := range sorted {
+		if !matched[e.I] && !matched[e.J] {
+			matched[e.I] = true
+			matched[e.J] = true
+			if e.I < e.J {
+				pairs = append(pairs, [2]int{e.I, e.J})
+			} else {
+				pairs = append(pairs, [2]int{e.J, e.I})
+			}
+		}
+	}
+	if len(pairs) != nvertex/2 {
+		return nil, fmt.Errorf("matching: greedy failed to perfect-match")
+	}
+	return pairs, nil
+}
+
+// bruteForceMinPerfect enumerates all perfect matchings and returns the
+// minimum-weight one. Exponential; used only by tests as the reference.
+func bruteForceMinPerfect(nvertex int, edges []Edge) ([][2]int, int64, bool) {
+	if nvertex%2 != 0 || nvertex == 0 {
+		return nil, 0, nvertex == 0
+	}
+	w := make(map[[2]int]int64)
+	for _, e := range edges {
+		key := [2]int{e.I, e.J}
+		if e.J < e.I {
+			key = [2]int{e.J, e.I}
+		}
+		if old, ok := w[key]; !ok || e.W < old {
+			w[key] = e.W
+		}
+	}
+	used := make([]bool, nvertex)
+	var best [][2]int
+	var bestW int64 = math.MaxInt64
+	var cur [][2]int
+	var rec func(curW int64)
+	rec = func(curW int64) {
+		first := -1
+		for v := 0; v < nvertex; v++ {
+			if !used[v] {
+				first = v
+				break
+			}
+		}
+		if first == -1 {
+			if curW < bestW {
+				bestW = curW
+				best = append([][2]int(nil), cur...)
+			}
+			return
+		}
+		used[first] = true
+		for u := first + 1; u < nvertex; u++ {
+			if used[u] {
+				continue
+			}
+			wt, ok := w[[2]int{first, u}]
+			if !ok {
+				continue
+			}
+			used[u] = true
+			cur = append(cur, [2]int{first, u})
+			rec(curW + wt)
+			cur = cur[:len(cur)-1]
+			used[u] = false
+		}
+		used[first] = false
+	}
+	rec(0)
+	return best, bestW, bestW != math.MaxInt64
+}

@@ -1,0 +1,125 @@
+package noise
+
+import (
+	"radqec/internal/rng"
+)
+
+// PauliError identifies which Pauli operator (if any) the depolarizing
+// channel injects after a gate.
+type PauliError int
+
+// Possible depolarizing outcomes.
+const (
+	ErrNone PauliError = iota
+	ErrX
+	ErrY
+	ErrZ
+)
+
+// Depolarizing is the intrinsic noise model of Section III-A: after each
+// gate operation, an X, Y or Z error is appended, each with probability
+// p/3. Two-qubit gates receive the tensor product E⊗E of two independent
+// single-qubit channels.
+type Depolarizing struct {
+	// P is the physical error rate p.
+	P float64
+}
+
+// NewDepolarizing returns the channel for physical error rate p.
+// It panics unless 0 <= p <= 1.
+func NewDepolarizing(p float64) Depolarizing {
+	if p < 0 || p > 1 {
+		panic("noise: physical error rate outside [0,1]")
+	}
+	return Depolarizing{P: p}
+}
+
+// Sample draws the error applied to one qubit after one gate.
+func (d Depolarizing) Sample(src *rng.Source) PauliError {
+	if d.P <= 0 {
+		return ErrNone
+	}
+	u := src.Float64()
+	switch {
+	case u < d.P/3:
+		return ErrX
+	case u < 2*d.P/3:
+		return ErrY
+	case u < d.P:
+		return ErrZ
+	default:
+		return ErrNone
+	}
+}
+
+// RadiationEvent is the correlated transient fault of Section III-B: a
+// particle strike at a root qubit whose effect decays exponentially in
+// time and quadratically with architecture-graph distance. The per-qubit
+// fault probability at temporal sample k is
+//
+//	p_qi = T̂(k/ns) · S(dist(root, qi)) · Scale
+//
+// and each gate acting on qubit qi is followed by a reset with that
+// probability.
+type RadiationEvent struct {
+	// Probs[q] is the fault probability of qubit q at the current
+	// temporal sample.
+	Probs []float64
+}
+
+// NewRadiationEvent builds the per-qubit probability table for a strike.
+//
+// dist[q] must hold the architecture-graph distance from the root impact
+// point to qubit q (-1 for unreachable qubits). rootProb is the
+// probability at the impact point itself (the step-sampled temporal
+// value, 1.0 at the moment of impact). spread=false confines the fault
+// to distance-0 qubits, the "erasure" configuration of Figures 6 and 7.
+func NewRadiationEvent(dist []int, rootProb float64, spread bool) *RadiationEvent {
+	probs := make([]float64, len(dist))
+	for q, d := range dist {
+		switch {
+		case d == 0:
+			probs[q] = rootProb
+		case spread && d > 0:
+			probs[q] = rootProb * Spatial(d)
+		default:
+			probs[q] = 0
+		}
+	}
+	return &RadiationEvent{Probs: probs}
+}
+
+// NoRadiation returns an event with zero fault probability everywhere.
+func NoRadiation(numQubits int) *RadiationEvent {
+	return &RadiationEvent{Probs: make([]float64, numQubits)}
+}
+
+// Fires reports whether a reset fault follows a gate on qubit q.
+func (r *RadiationEvent) Fires(q int, src *rng.Source) bool {
+	if q < 0 || q >= len(r.Probs) {
+		return false
+	}
+	return src.Bool(r.Probs[q])
+}
+
+// MaxProb returns the largest per-qubit probability in the event.
+func (r *RadiationEvent) MaxProb() float64 {
+	m := 0.0
+	for _, p := range r.Probs {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Affected returns the indices of qubits with non-zero fault probability.
+func (r *RadiationEvent) Affected() []int {
+	var out []int
+	for q, p := range r.Probs {
+		if p > 0 {
+			out = append(out, q)
+		}
+	}
+	return out
+}

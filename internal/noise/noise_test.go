@@ -1,0 +1,292 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"radqec/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTemporalBoundaries(t *testing.T) {
+	if got := Temporal(0); got != 1 {
+		t.Fatalf("T(0) = %v, want 1", got)
+	}
+	if got := Temporal(1); !almostEqual(got, math.Exp(-10), 1e-15) {
+		t.Fatalf("T(1) = %v, want e^-10", got)
+	}
+}
+
+func TestTemporalMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i++ {
+		v := Temporal(float64(i) / 100)
+		if v >= prev {
+			t.Fatalf("T not strictly decreasing at %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestTemporalStepMatchesSampleGrid(t *testing.T) {
+	// Within each of the ns intervals the step function is constant and
+	// equals T at the left edge (Figure 3: spike of 100% at impact).
+	const ns = 10
+	for k := 0; k < ns; k++ {
+		left := float64(k) / ns
+		mid := left + 0.5/ns
+		want := Temporal(left)
+		if got := TemporalStep(mid, ns); !almostEqual(got, want, 1e-12) {
+			t.Fatalf("step(%v) = %v, want %v", mid, got, want)
+		}
+	}
+	if got := TemporalStep(0, ns); got != 1 {
+		t.Fatalf("step(0) = %v, want 1 (impact spike)", got)
+	}
+}
+
+func TestTemporalStepClamps(t *testing.T) {
+	if got := TemporalStep(-0.5, 10); got != 1 {
+		t.Fatalf("step(-0.5) = %v", got)
+	}
+	want := Temporal(0.9)
+	if got := TemporalStep(1.5, 10); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("step(1.5) = %v, want %v", got, want)
+	}
+}
+
+func TestTemporalStepPanicsOnBadNs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TemporalStep(0.5, 0)
+}
+
+func TestTemporalSamples(t *testing.T) {
+	s := TemporalSamples(10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != 1 {
+		t.Fatalf("first sample = %v, want 1", s[0])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Fatalf("samples not decreasing at %d", i)
+		}
+	}
+	// e^-10 decay: second sample is e^-1 of the first.
+	if !almostEqual(s[1]/s[0], math.Exp(-1), 1e-12) {
+		t.Fatalf("decay ratio = %v", s[1]/s[0])
+	}
+}
+
+func TestSpatialValues(t *testing.T) {
+	cases := []struct {
+		d    int
+		want float64
+	}{
+		{0, 1.0},
+		{1, 0.25},
+		{2, 1.0 / 9},
+		{3, 1.0 / 16},
+		{9, 0.01},
+	}
+	for _, c := range cases {
+		if got := Spatial(c.d); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("S(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSpatialUnreachable(t *testing.T) {
+	if got := Spatial(-1); got != 0 {
+		t.Fatalf("S(-1) = %v, want 0", got)
+	}
+}
+
+func TestSpatialScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpatialScaled(1, 0)
+}
+
+func TestSpatialMonotone(t *testing.T) {
+	for d := 0; d < 20; d++ {
+		if Spatial(d+1) >= Spatial(d) {
+			t.Fatalf("S not decreasing at d=%d", d)
+		}
+	}
+}
+
+func TestDecayProduct(t *testing.T) {
+	prop := func(rawT float64, rawD uint8) bool {
+		tt := math.Mod(math.Abs(rawT), 1)
+		d := int(rawD % 20)
+		return almostEqual(Decay(tt, d), Temporal(tt)*Spatial(d), 1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayStepProduct(t *testing.T) {
+	if got, want := DecayStep(0.35, 2, 10), TemporalStep(0.35, 10)*Spatial(2); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("DecayStep = %v, want %v", got, want)
+	}
+}
+
+func TestDepolarizingZeroRate(t *testing.T) {
+	d := NewDepolarizing(0)
+	src := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(src) != ErrNone {
+			t.Fatal("p=0 channel produced an error")
+		}
+	}
+}
+
+func TestDepolarizingFullRate(t *testing.T) {
+	d := NewDepolarizing(1)
+	src := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(src) == ErrNone {
+			t.Fatal("p=1 channel produced no error")
+		}
+	}
+}
+
+func TestDepolarizingRates(t *testing.T) {
+	const p, trials = 0.3, 300000
+	d := NewDepolarizing(p)
+	src := rng.New(3)
+	counts := map[PauliError]int{}
+	for i := 0; i < trials; i++ {
+		counts[d.Sample(src)]++
+	}
+	for _, e := range []PauliError{ErrX, ErrY, ErrZ} {
+		rate := float64(counts[e]) / trials
+		if !almostEqual(rate, p/3, 0.005) {
+			t.Fatalf("P(%v) = %v, want %v", e, rate, p/3)
+		}
+	}
+	noneRate := float64(counts[ErrNone]) / trials
+	if !almostEqual(noneRate, 1-p, 0.005) {
+		t.Fatalf("P(none) = %v, want %v", noneRate, 1-p)
+	}
+}
+
+func TestNewDepolarizingPanics(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDepolarizing(%v) did not panic", p)
+				}
+			}()
+			NewDepolarizing(p)
+		}()
+	}
+}
+
+func TestRadiationEventSpread(t *testing.T) {
+	dist := []int{2, 1, 0, 1, 2, -1}
+	ev := NewRadiationEvent(dist, 1.0, true)
+	want := []float64{1.0 / 9, 0.25, 1, 0.25, 1.0 / 9, 0}
+	for q := range want {
+		if !almostEqual(ev.Probs[q], want[q], 1e-12) {
+			t.Fatalf("prob[%d] = %v, want %v", q, ev.Probs[q], want[q])
+		}
+	}
+}
+
+func TestRadiationEventNoSpread(t *testing.T) {
+	dist := []int{1, 0, 1}
+	ev := NewRadiationEvent(dist, 0.8, false)
+	if ev.Probs[0] != 0 || ev.Probs[2] != 0 {
+		t.Fatal("no-spread event leaked to neighbours")
+	}
+	if !almostEqual(ev.Probs[1], 0.8, 1e-12) {
+		t.Fatalf("root prob = %v", ev.Probs[1])
+	}
+}
+
+func TestRadiationEventScalesWithTime(t *testing.T) {
+	dist := []int{0, 1}
+	late := NewRadiationEvent(dist, Temporal(0.5), true)
+	if late.Probs[0] >= 1 {
+		t.Fatal("late event should be weaker than impact")
+	}
+	if !almostEqual(late.Probs[1], Temporal(0.5)*0.25, 1e-12) {
+		t.Fatalf("neighbour prob = %v", late.Probs[1])
+	}
+}
+
+func TestNoRadiation(t *testing.T) {
+	ev := NoRadiation(4)
+	if ev.MaxProb() != 0 {
+		t.Fatal("NoRadiation has non-zero probability")
+	}
+	if got := ev.Affected(); got != nil {
+		t.Fatalf("NoRadiation affects %v", got)
+	}
+}
+
+func TestFires(t *testing.T) {
+	ev := &RadiationEvent{Probs: []float64{0, 1}}
+	src := rng.New(4)
+	for i := 0; i < 100; i++ {
+		if ev.Fires(0, src) {
+			t.Fatal("p=0 qubit fired")
+		}
+		if !ev.Fires(1, src) {
+			t.Fatal("p=1 qubit did not fire")
+		}
+		if ev.Fires(7, src) {
+			t.Fatal("out-of-range qubit fired")
+		}
+	}
+}
+
+func TestFiresRate(t *testing.T) {
+	ev := NewRadiationEvent([]int{0}, 0.4, true)
+	src := rng.New(5)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if ev.Fires(0, src) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; !almostEqual(rate, 0.4, 0.01) {
+		t.Fatalf("fire rate = %v, want 0.4", rate)
+	}
+}
+
+func TestAffected(t *testing.T) {
+	ev := NewRadiationEvent([]int{3, 0, -1, 1}, 1, true)
+	got := ev.Affected()
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("affected = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("affected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxProb(t *testing.T) {
+	ev := NewRadiationEvent([]int{1, 0, 2}, 0.9, true)
+	if !almostEqual(ev.MaxProb(), 0.9, 1e-12) {
+		t.Fatalf("MaxProb = %v", ev.MaxProb())
+	}
+}

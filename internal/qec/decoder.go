@@ -1,0 +1,263 @@
+package qec
+
+import (
+	"radqec/internal/matching"
+)
+
+// decodeGraph is the pre-computed matching geometry of the bit-flip
+// (Z-stabilizer) syndrome lattice: spatial distances between
+// stabilizers, their distances to the open boundary, and the data-qubit
+// flip sets realising those shortest paths.
+type decodeGraph struct {
+	numStabs int
+	// dist[i][j] is the spatial distance (number of data qubits on a
+	// minimal error chain) between Z stabilizers i and j.
+	dist [][]int
+	// bdist[i] is the distance from stabilizer i to the nearest open
+	// boundary.
+	bdist []int
+	// pathData[i][j] lists the register-local data qubits flipped by a
+	// minimal chain between stabilizers i and j.
+	pathData [][][]int
+	// bpathData[i] is the flip set of a minimal chain from stabilizer i
+	// to the boundary.
+	bpathData [][]int
+}
+
+// buildDecodeGraph derives the matching geometry from the stabilizer
+// supports. Two stabilizers are adjacent when they share a data qubit
+// (chain weight one); a data qubit covered by exactly one stabilizer
+// links that stabilizer to the open boundary.
+func buildDecodeGraph(stabData [][]int, numData int) *decodeGraph {
+	n := len(stabData)
+	g := &decodeGraph{
+		numStabs:  n,
+		dist:      make([][]int, n),
+		bdist:     make([]int, n),
+		pathData:  make([][][]int, n),
+		bpathData: make([][]int, n),
+	}
+	// owner[d] lists stabilizers covering data qubit d.
+	owner := make([][]int, numData)
+	for s, datas := range stabData {
+		for _, d := range datas {
+			owner[d] = append(owner[d], s)
+		}
+	}
+	// Adjacency with the data qubit labelling each edge. Node n is the
+	// boundary.
+	type edge struct{ to, via int }
+	adj := make([][]edge, n+1)
+	for d, ss := range owner {
+		switch len(ss) {
+		case 1:
+			adj[ss[0]] = append(adj[ss[0]], edge{n, d})
+			adj[n] = append(adj[n], edge{ss[0], d})
+		case 2:
+			adj[ss[0]] = append(adj[ss[0]], edge{ss[1], d})
+			adj[ss[1]] = append(adj[ss[1]], edge{ss[0], d})
+		}
+	}
+	// BFS from every stabilizer over stabilizer nodes only (the
+	// boundary never shortcuts a stabilizer-to-stabilizer chain: a chain
+	// through the boundary is expressed as two boundary matches by the
+	// matcher instead).
+	for src := 0; src < n; src++ {
+		dist := make([]int, n)
+		prev := make([]int, n)
+		prevVia := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			prev[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				if e.to == n || dist[e.to] != -1 {
+					continue
+				}
+				dist[e.to] = dist[u] + 1
+				prev[e.to] = u
+				prevVia[e.to] = e.via
+				queue = append(queue, e.to)
+			}
+		}
+		g.dist[src] = dist
+		g.pathData[src] = make([][]int, n)
+		for dst := 0; dst < n; dst++ {
+			if dist[dst] <= 0 {
+				continue
+			}
+			var flips []int
+			for v := dst; v != src; v = prev[v] {
+				flips = append(flips, prevVia[v])
+			}
+			g.pathData[src][dst] = flips
+		}
+	}
+	// BFS from the boundary for boundary distances and flip sets.
+	{
+		dist := make([]int, n+1)
+		prev := make([]int, n+1)
+		prevVia := make([]int, n+1)
+		for i := range dist {
+			dist[i] = -1
+			prev[i] = -1
+		}
+		dist[n] = 0
+		queue := []int{n}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				if dist[e.to] != -1 {
+					continue
+				}
+				dist[e.to] = dist[u] + 1
+				prev[e.to] = u
+				prevVia[e.to] = e.via
+				queue = append(queue, e.to)
+			}
+		}
+		for s := 0; s < n; s++ {
+			g.bdist[s] = dist[s]
+			if dist[s] > 0 {
+				var flips []int
+				for v := s; v != n; v = prev[v] {
+					flips = append(flips, prevVia[v])
+				}
+				g.bpathData[s] = flips
+			}
+		}
+	}
+	return g
+}
+
+// defect is one detection event in the space-time syndrome history.
+type defect struct {
+	stab  int // Z stabilizer index
+	round int // detection round: 0, 1 or 2
+}
+
+// Decode runs the MWPM decoder over a shot's classical record and
+// returns the corrected logical value (0 or 1). The record layout is the
+// one produced by the code builders: C0 and C1 hold the two syndrome
+// rounds, DataRead the final per-data-qubit measurements.
+func (c *Code) Decode(bits []int) int {
+	defects := c.detectionEvents(bits)
+	flips := c.matchDefects(defects)
+	return c.logicalValue(bits, flips)
+}
+
+// DecodeGreedy is the ablation decoder: identical detection events and
+// correction model, but greedy matching instead of blossom.
+func (c *Code) DecodeGreedy(bits []int) int {
+	defects := c.detectionEvents(bits)
+	flips := c.matchDefectsWith(defects, func(n int, edges []matching.Edge) ([][2]int, error) {
+		return matching.GreedyPerfectMatching(n, edges)
+	})
+	return c.logicalValue(bits, flips)
+}
+
+// detectionEvents derives the Z-graph space-time detection events from a
+// shot record: round 0 versus the expected all-zero syndrome, the
+// differences between consecutive rounds, and the last-round/final
+// difference where the final syndrome is recomputed from the data
+// readout parities. With R rounds this yields R+1 detection layers.
+func (c *Code) detectionEvents(bits []int) []defect {
+	var defects []defect
+	for s, datas := range c.zStabData {
+		prev := 0
+		for r, creg := range c.CRounds {
+			cur := bits[creg.Start+s]
+			if prev^cur != 0 {
+				defects = append(defects, defect{s, r})
+			}
+			prev = cur
+		}
+		final := 0
+		for _, d := range datas {
+			final ^= bits[c.DataRead.Start+d]
+		}
+		if prev^final != 0 {
+			defects = append(defects, defect{s, len(c.CRounds)})
+		}
+	}
+	return defects
+}
+
+// matchDefects pairs the detection events with blossom MWPM and returns
+// the resulting data-qubit flip multiset as a parity mask.
+func (c *Code) matchDefects(defects []defect) []bool {
+	return c.matchDefectsWith(defects, matching.MinWeightPerfectMatching)
+}
+
+func (c *Code) matchDefectsWith(defects []defect, match func(int, []matching.Edge) ([][2]int, error)) []bool {
+	flips := make([]bool, c.Data.Size)
+	nd := len(defects)
+	if nd == 0 {
+		return flips
+	}
+	g := c.zGraph
+	// Nodes 0..nd-1 are defects; nd..2nd-1 their private boundary
+	// images. Boundary images interconnect at zero cost so unused ones
+	// pair among themselves.
+	var edges []matching.Edge
+	for i := 0; i < nd; i++ {
+		for j := i + 1; j < nd; j++ {
+			ds := g.dist[defects[i].stab][defects[j].stab]
+			if ds < 0 {
+				continue
+			}
+			dt := defects[i].round - defects[j].round
+			if dt < 0 {
+				dt = -dt
+			}
+			edges = append(edges, matching.Edge{I: i, J: j, W: int64(ds + dt)})
+		}
+		if bd := g.bdist[defects[i].stab]; bd >= 0 {
+			edges = append(edges, matching.Edge{I: i, J: nd + i, W: int64(bd)})
+		}
+		for j := i + 1; j < nd; j++ {
+			edges = append(edges, matching.Edge{I: nd + i, J: nd + j, W: 0})
+		}
+	}
+	pairs, err := match(2*nd, edges)
+	if err != nil {
+		// No perfect matching means the syndrome is undecodable (cannot
+		// happen on connected decode graphs); fail open with no
+		// correction rather than crash a campaign.
+		return flips
+	}
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		switch {
+		case i < nd && j < nd:
+			for _, d := range g.pathData[defects[i].stab][defects[j].stab] {
+				flips[d] = !flips[d]
+			}
+		case i < nd && j >= nd:
+			for _, d := range g.bpathData[defects[i].stab] {
+				flips[d] = !flips[d]
+			}
+		}
+	}
+	return flips
+}
+
+// logicalValue applies the correction mask to the data readout and
+// returns the parity of the logical Z support.
+func (c *Code) logicalValue(bits []int, flips []bool) int {
+	v := 0
+	for _, d := range c.logicalZ {
+		b := bits[c.DataRead.Start+d]
+		if flips[d] {
+			b ^= 1
+		}
+		v ^= b
+	}
+	return v
+}

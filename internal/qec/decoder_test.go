@@ -1,0 +1,150 @@
+package qec
+
+import "testing"
+
+func TestDecodeGraphRepetitionGeometry(t *testing.T) {
+	c := mustRep(t, 5)
+	g := c.zGraph
+	if g.numStabs != 4 {
+		t.Fatalf("numStabs = %d", g.numStabs)
+	}
+	// Chain distances: |i - j|.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := i - j
+			if want < 0 {
+				want = -want
+			}
+			if g.dist[i][j] != want {
+				t.Fatalf("dist[%d][%d] = %d, want %d", i, j, g.dist[i][j], want)
+			}
+		}
+	}
+	// Boundary distances: min(i+1, d-1-i) hops through end data qubits.
+	wantB := []int{1, 2, 2, 1}
+	for i, w := range wantB {
+		if g.bdist[i] != w {
+			t.Fatalf("bdist[%d] = %d, want %d", i, g.bdist[i], w)
+		}
+	}
+}
+
+func TestDecodeGraphPathFlipSets(t *testing.T) {
+	c := mustRep(t, 5)
+	g := c.zGraph
+	// Chain stab 0 -> stab 2 crosses data qubits 1 and 2.
+	flips := g.pathData[0][2]
+	if len(flips) != 2 {
+		t.Fatalf("pathData[0][2] = %v", flips)
+	}
+	seen := map[int]bool{}
+	for _, d := range flips {
+		seen[d] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("path 0->2 flips %v, want data 1 and 2", flips)
+	}
+	// Boundary path from stab 0 flips data 0 (the left end).
+	if len(g.bpathData[0]) != 1 || g.bpathData[0][0] != 0 {
+		t.Fatalf("bpathData[0] = %v", g.bpathData[0])
+	}
+	// Boundary path from stab 3 flips data 4 (the right end).
+	if len(g.bpathData[3]) != 1 || g.bpathData[3][0] != 4 {
+		t.Fatalf("bpathData[3] = %v", g.bpathData[3])
+	}
+}
+
+func TestDecodeGraphXXZZConnected(t *testing.T) {
+	c := mustXXZZ(t, 3, 3)
+	g := c.zGraph
+	if g.numStabs != 4 {
+		t.Fatalf("numStabs = %d", g.numStabs)
+	}
+	for i := 0; i < g.numStabs; i++ {
+		if g.bdist[i] < 1 {
+			t.Fatalf("stab %d boundary distance %d", i, g.bdist[i])
+		}
+		for j := 0; j < g.numStabs; j++ {
+			if i != j && g.dist[i][j] < 1 {
+				t.Fatalf("dist[%d][%d] = %d", i, j, g.dist[i][j])
+			}
+		}
+	}
+}
+
+func TestDecodeGraphFlipSetsMatchDistances(t *testing.T) {
+	// The flip set realising a shortest path must contain exactly
+	// dist data qubits; same for boundary paths.
+	for _, c := range []*Code{mustRep(t, 15), mustXXZZ(t, 3, 5), mustXXZZ(t, 5, 3)} {
+		g := c.zGraph
+		for i := 0; i < g.numStabs; i++ {
+			for j := 0; j < g.numStabs; j++ {
+				if i == j || g.dist[i][j] < 0 {
+					continue
+				}
+				if got := len(g.pathData[i][j]); got != g.dist[i][j] {
+					t.Fatalf("%s: |pathData[%d][%d]| = %d, dist = %d",
+						c.Name, i, j, got, g.dist[i][j])
+				}
+			}
+			if g.bdist[i] > 0 {
+				if got := len(g.bpathData[i]); got != g.bdist[i] {
+					t.Fatalf("%s: |bpathData[%d]| = %d, bdist = %d",
+						c.Name, i, got, g.bdist[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDetectionEventsOnCleanRecord(t *testing.T) {
+	c := mustXXZZ(t, 3, 3)
+	bits := cleanRun(t, c, 3)
+	if defects := c.detectionEvents(bits); len(defects) != 0 {
+		t.Fatalf("clean record produced defects: %v", defects)
+	}
+}
+
+func TestDetectionEventsLayering(t *testing.T) {
+	c := mustRep(t, 5)
+	base := cleanRun(t, c, 3)
+	// A flip in round 0 only -> defects at layers 0 (appearance) and 1
+	// (disappearance) for that stabilizer.
+	bits := append([]int(nil), base...)
+	bits[c.C0.Start+2] ^= 1
+	defects := c.detectionEvents(bits)
+	if len(defects) != 2 {
+		t.Fatalf("defects = %v", defects)
+	}
+	for _, d := range defects {
+		if d.stab != 2 {
+			t.Fatalf("wrong stabilizer: %v", defects)
+		}
+	}
+	if !((defects[0].round == 0 && defects[1].round == 1) ||
+		(defects[0].round == 1 && defects[1].round == 0)) {
+		t.Fatalf("wrong layers: %v", defects)
+	}
+	// A final-readout flip on data 2 -> defects at layer 2 on stabs 1,2.
+	bits = append([]int(nil), base...)
+	bits[c.DataRead.Start+2] ^= 1
+	defects = c.detectionEvents(bits)
+	if len(defects) != 2 {
+		t.Fatalf("readout defects = %v", defects)
+	}
+	for _, d := range defects {
+		if d.round != 2 || (d.stab != 1 && d.stab != 2) {
+			t.Fatalf("readout defect misplaced: %v", defects)
+		}
+	}
+}
+
+func TestMatchDefectsEmpty(t *testing.T) {
+	c := mustRep(t, 5)
+	flips := c.matchDefects(nil)
+	for d, f := range flips {
+		if f {
+			t.Fatalf("no-defect correction flipped data %d", d)
+		}
+	}
+}

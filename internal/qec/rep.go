@@ -1,0 +1,71 @@
+package qec
+
+import (
+	"fmt"
+
+	"radqec/internal/circuit"
+)
+
+// NewRepetition builds the distance-(d,1) bit-flip protected repetition
+// code (Figure 2 of the paper): d data qubits entangled into a GHZ-style
+// chain, d-1 Z-parity stabilizers measured by dedicated qubits, and one
+// ancilla performing the raw logical readout, for 2d qubits total.
+//
+// d must be odd and at least 3. Two stabilization rounds are measured,
+// as in the paper; use NewRepetitionRounds for more.
+func NewRepetition(d int) (*Code, error) {
+	return NewRepetitionRounds(d, 2)
+}
+
+// NewRepetitionRounds is NewRepetition with an explicit number of
+// stabilization rounds (>= 2); the transversal logical X is applied
+// between the first and second round.
+func NewRepetitionRounds(d, rounds int) (*Code, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("qec: repetition distance must be odd and >= 3, got %d", d)
+	}
+	if rounds < 2 {
+		return nil, fmt.Errorf("qec: at least 2 stabilization rounds required, got %d", rounds)
+	}
+	c := &Code{
+		Name:   fmt.Sprintf("rep-(%d,1)", d),
+		DZ:     d,
+		DX:     1,
+		Rounds: rounds,
+	}
+	circ := circuit.New(0, 0)
+	c.Data = circ.AddQReg("data", d)
+	c.MZ = circ.AddQReg("mz", d-1)
+	c.MX = circ.AddQReg("mx", 0)
+	c.Anc = circ.AddQReg("ancilla", 1)
+	for r := 0; r < rounds; r++ {
+		c.CRounds = append(c.CRounds, circ.AddCReg(fmt.Sprintf("c%d", r), d-1))
+	}
+	c.C0, c.C1 = c.CRounds[0], c.CRounds[1]
+	c.DataRead = circ.AddCReg("dataread", d)
+	c.AncRead = circ.AddCReg("readout", 1)
+	c.Circ = circ
+
+	// Stabilizer s checks the Z-parity of adjacent data qubits s, s+1.
+	c.zStabData = make([][]int, d-1)
+	for s := 0; s < d-1; s++ {
+		c.zStabData[s] = []int{s, s + 1}
+	}
+	// Logical Z is the total data parity (equal to single-qubit Z up to
+	// stabilizer products for odd d) so the ancilla readout block mirrors
+	// Figure 2's CNOT fan-in; logical X is transversal X on every data
+	// qubit.
+	c.logicalZ = make([]int, d)
+	logicalX := make([]int, d)
+	for i := range logicalX {
+		c.logicalZ[i] = i
+		logicalX[i] = i
+	}
+	c.zGraph = buildDecodeGraph(c.zStabData, d)
+	c.finishCircuit(logicalX)
+	return c, nil
+}
+
+// RepetitionDistances lists the repetition distances evaluated in the
+// paper's Figure 6a.
+func RepetitionDistances() []int { return []int{3, 5, 7, 9, 11, 13, 15} }

@@ -1,0 +1,146 @@
+// Package rng provides a small, deterministic, allocation-free random
+// number generator used throughout the fault-injection campaigns.
+//
+// The generator is xoshiro256** seeded through SplitMix64. It is not
+// cryptographically secure; it is chosen for reproducibility (identical
+// streams for identical seeds on every platform) and for cheap stream
+// splitting, so that each injection shot can own an independent stream
+// and campaigns stay deterministic under any degree of parallelism.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo random number generator.
+// The zero value is not usable; construct one with New or Split.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances the state and returns the next SplitMix64 output.
+// It is used only to expand seeds into full generator state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield
+// uncorrelated streams; the same seed always yields the same stream.
+func New(seed uint64) *Source {
+	sm := seed
+	src := &Source{
+		s0: splitMix64(&sm),
+		s1: splitMix64(&sm),
+		s2: splitMix64(&sm),
+		s3: splitMix64(&sm),
+	}
+	// A pathological all-zero state would lock the generator at zero.
+	// SplitMix64 cannot produce four zero words from any seed, but the
+	// guard keeps the invariant local and obvious.
+	if src.s0|src.s1|src.s2|src.s3 == 0 {
+		src.s3 = 1
+	}
+	return src
+}
+
+// Split derives an independent child stream from the source's current
+// state and the given index. Calling Split with distinct indices yields
+// distinct, reproducible streams regardless of how many values the
+// parent has produced in between.
+func (s *Source) Split(index uint64) *Source {
+	// Mix the parent state with the index through SplitMix64 so child
+	// streams do not overlap the parent sequence.
+	sm := s.s0 ^ (s.s2 << 1) ^ (index * 0xd1342543de82ef95)
+	return New(splitMix64(&sm) ^ index)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high bits scaled by 2^-53, the standard unbiased construction.
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and division-free
+	// in the common case.
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := (math.MaxUint64 - un + 1) % un
+		for lo < threshold {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Bool returns true with probability p. Probabilities outside [0,1] are
+// clamped: p <= 0 never fires, p >= 1 always fires.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= s.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(0)
+	c2 := parent.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams coincide %d/100 times", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(9).Split(5)
+	b := New(9).Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	_ = a.Split(99)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split mutated parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(13)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(14)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d has %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := New(15)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) fired")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) did not fire")
+		}
+		if s.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) fired")
+		}
+		if !s.Bool(1.5) {
+			t.Fatal("Bool(1.5) did not fire")
+		}
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	s := New(16)
+	const p, trials = 0.3, 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bool(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bool(%v) rate = %v", p, rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	prop := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(18)
+	v := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	s.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	got := 0
+	for _, x := range v {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Float64()
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 30 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, -1); got != 10 {
+		t.Fatalf("q<0 = %v", got)
+	}
+	if got := Quantile(xs, 2); got != 30 {
+		t.Fatalf("q>1 = %v", got)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.25); got != 2.5 {
+		t.Fatalf("q0.25 = %v", got)
+	}
+}
+
+func TestMedianProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return Median(xs) == 0
+		}
+		m := Median(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// At least half of the values lie on each side.
+		return m >= sorted[0] && m <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("MinMax(nil) nonzero")
+	}
+}
+
+func TestWilsonCIBrackets(t *testing.T) {
+	lo, hi := WilsonCI(50, 100)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("CI [%v,%v] does not bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("CI too wide for n=100: %v", hi-lo)
+	}
+}
+
+func TestWilsonCIEdges(t *testing.T) {
+	lo, hi := WilsonCI(0, 100)
+	if lo != 0 {
+		t.Fatalf("lo = %v for k=0", lo)
+	}
+	if hi < 0.01 || hi > 0.1 {
+		t.Fatalf("hi = %v for 0/100", hi)
+	}
+	lo, hi = WilsonCI(100, 100)
+	if hi != 1 {
+		t.Fatalf("hi = %v for k=n", hi)
+	}
+	if lo > 0.99 || lo < 0.9 {
+		t.Fatalf("lo = %v for 100/100", lo)
+	}
+	lo, hi = WilsonCI(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("empty trial CI should be [0,1]")
+	}
+}
+
+func TestWilsonCIShrinksWithN(t *testing.T) {
+	lo1, hi1 := WilsonCI(10, 20)
+	lo2, hi2 := WilsonCI(1000, 2000)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Fatal("CI did not shrink with more trials")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("single-sample variance nonzero")
+	}
+}
