@@ -20,6 +20,7 @@ import (
 	"radqec/internal/noise"
 	"radqec/internal/qec"
 	"radqec/internal/rng"
+	"radqec/internal/sweep"
 )
 
 // benchCfg returns a reduced configuration that still exercises every
@@ -219,6 +220,62 @@ func BenchmarkAblationRouter(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Sweep-engine benches: the same campaign grid run with fixed shot
+// allocation versus adaptive Wilson-interval allocation. The adaptive
+// run targets the half-width the fixed run only guarantees at its full
+// per-point budget, so the ns/op gap is the shots the stopping rule
+// saves.
+
+func sweepBenchPoints(b *testing.B) []sweep.Point {
+	b.Helper()
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	var pts []sweep.Point
+	for root := 0; root < 6; root++ {
+		ev := noise.NewRadiationEvent(dist[root], 1.0, true)
+		seed := uint64(root + 1)
+		pts = append(pts, sweep.Point{
+			Key: "bench",
+			Prepare: func() sweep.BatchRunner {
+				camp := &inject.Campaign{
+					Exec:     inject.NewExecutor(tr.Circuit, noise.NewDepolarizing(0.01), ev),
+					Decode:   code.Decode,
+					Expected: code.ExpectedLogical(),
+				}
+				return func(start, n int) sweep.Counts {
+					r := camp.RunFrom(seed, start, n)
+					return sweep.Counts{Shots: r.Shots, Errors: r.Errors}
+				}
+			},
+		})
+	}
+	return pts
+}
+
+func BenchmarkSweepFixed(b *testing.B) {
+	shots := sweep.WorstCaseShots(0.05)
+	pts := sweepBenchPoints(b) // Prepare re-runs per sweep, so reuse is safe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sweep.Run(sweep.Config{Shots: shots}, pts)
+	}
+}
+
+func BenchmarkSweepAdaptive(b *testing.B) {
+	pts := sweepBenchPoints(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sweep.Run(sweep.Config{CI: 0.05}, pts)
+	}
 }
 
 // Microbenches for the hot substrates.

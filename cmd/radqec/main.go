@@ -15,11 +15,18 @@
 //	-workers N   parallel shot runners (default GOMAXPROCS)
 //	-p RATE      intrinsic physical error rate (default 0.01)
 //	-ns N        temporal samples of the fault decay (default 10)
+//	-ci W        target Wilson 95% half-width; >0 turns on adaptive
+//	             shot allocation per point (default off)
+//	-maxshots N  adaptive per-point shot cap (0 = worst-case count
+//	             guaranteeing -ci at any rate)
 //	-csv         emit CSV instead of aligned text
+//	-json        stream one JSON record per completed sweep point and
+//	             emit each table as a JSON record
 //	-o FILE      write to FILE instead of stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"radqec/internal/exp"
+	"radqec/internal/sweep"
 )
 
 type experiment struct {
@@ -57,13 +65,46 @@ func experiments() []experiment {
 	}
 }
 
+// pointRecord is the streaming JSON view of one completed sweep point.
+type pointRecord struct {
+	Type       string  `json:"type"`
+	Experiment string  `json:"experiment"`
+	Key        string  `json:"key"`
+	Shots      int     `json:"shots"`
+	Errors     int     `json:"errors"`
+	Rate       float64 `json:"rate"`
+	CILo       float64 `json:"ci_lo"`
+	CIHi       float64 `json:"ci_hi"`
+	HalfWidth  float64 `json:"half_width"`
+	Batches    int     `json:"batches"`
+	Q50        float64 `json:"q50"`
+	Q90        float64 `json:"q90"`
+	Q99        float64 `json:"q99"`
+	CVaR90     float64 `json:"cvar90"`
+	Converged  bool    `json:"converged"`
+}
+
+// tableRecord is the JSON view of a finished experiment table.
+type tableRecord struct {
+	Type       string     `json:"type"`
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	ElapsedMS  int64      `json:"elapsed_ms"`
+}
+
 func main() {
 	shots := flag.Int("shots", 2000, "shots per measured point")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 0, "parallel shot runners (0 = GOMAXPROCS)")
 	p := flag.Float64("p", 0.01, "intrinsic physical error rate")
 	ns := flag.Int("ns", 10, "temporal samples of the fault decay")
+	ci := flag.Float64("ci", 0, "target Wilson 95% half-width per point (>0 enables adaptive shots)")
+	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "stream per-point JSON records and emit tables as JSON")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
 	flag.Usage = usage
 	flag.Parse()
@@ -74,11 +115,13 @@ func main() {
 	}
 	name := flag.Arg(0)
 	cfg := exp.Config{
-		Shots:   *shots,
-		Seed:    *seed,
-		Workers: *workers,
-		P:       *p,
-		NS:      *ns,
+		Shots:    *shots,
+		Seed:     *seed,
+		Workers:  *workers,
+		P:        *p,
+		NS:       *ns,
+		CI:       *ci,
+		MaxShots: *maxShots,
 	}
 
 	var out io.Writer = os.Stdout
@@ -102,15 +145,59 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(out)
 	for _, e := range selected {
+		if *jsonOut {
+			// The sweep engine serialises OnResult calls, so the encoder
+			// needs no extra locking.
+			expName := e.name
+			cfg.OnPoint = func(r sweep.Result) {
+				if err := enc.Encode(pointRecord{
+					Type:       "point",
+					Experiment: expName,
+					Key:        r.Key,
+					Shots:      r.Shots,
+					Errors:     r.Errors,
+					Rate:       r.Rate(),
+					CILo:       r.CILo,
+					CIHi:       r.CIHi,
+					HalfWidth:  r.HalfWidth(),
+					Batches:    len(r.BatchRates),
+					Q50:        r.Tail.Q50,
+					Q90:        r.Tail.Q90,
+					Q99:        r.Tail.Q99,
+					CVaR90:     r.Tail.CVaR90,
+					Converged:  r.Converged,
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}
 		start := time.Now()
 		tab, err := e.run(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			rows := tab.Rows
+			if rows == nil {
+				rows = [][]string{}
+			}
+			if err := enc.Encode(tableRecord{
+				Type:       "table",
+				Experiment: e.name,
+				Title:      tab.Title,
+				Header:     tab.Header,
+				Rows:       rows,
+				Notes:      tab.Notes,
+				ElapsedMS:  time.Since(start).Milliseconds(),
+			}); err != nil {
+				fatal(err)
+			}
+		case *csv:
 			tab.WriteCSV(out)
-		} else {
+		default:
 			tab.WriteText(out)
 			fmt.Fprintf(out, "(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		}

@@ -1,0 +1,3 @@
+module radqec
+
+go 1.24

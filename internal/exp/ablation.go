@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"radqec/internal/arch"
-	"radqec/internal/inject"
-	"radqec/internal/noise"
 	"radqec/internal/qec"
 	"radqec/internal/stats"
 )
@@ -27,31 +25,39 @@ func AblationDecoder(cfg Config) (*Table, error) {
 		codes = append(codes, c)
 	}
 	topo := arch.Mesh(5, 6)
+	type decoder struct {
+		name   string
+		decode func([]int) int
+	}
+	var (
+		specs []pointSpec
+		names []string
+	)
 	for ci, code := range codes {
 		p, err := prepare(code, topo)
 		if err != nil {
 			return nil, err
 		}
 		ev := p.strikeAt(2, 1.0, true)
-		exec := inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev)
-		for _, dec := range []struct {
-			name   string
-			decode func([]int) int
-		}{
+		// The three decoders read the same campaign at the same seed, so
+		// they see identical shot streams and differ only in decoding.
+		for _, dec := range []decoder{
 			{"blossom", code.Decode},
 			{"union-find", code.DecodeUnionFind},
 			{"greedy", code.DecodeGreedy},
 		} {
-			camp := &inject.Campaign{
-				Exec:     exec,
-				Decode:   dec.decode,
-				Expected: code.ExpectedLogical(),
-				Workers:  cfg.Workers,
-			}
-			r := camp.Run(cfg.Seed+uint64(ci), cfg.Shots)
-			t.Add(code.Name, dec.name, pct(r.Rate()))
+			s := p.spec(fmt.Sprintf("ablation-decoder/%s/%s", code.Name, dec.name),
+				cfg, ev, cfg.Seed+uint64(ci))
+			s.decode = dec.decode
+			specs = append(specs, s)
+			names = append(names, dec.name)
 		}
 	}
+	results := runSpecs(cfg, specs)
+	for i, r := range results {
+		t.Add(codes[i/3].Name, names[i], pct(r.Rate()))
+	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }
 
@@ -71,12 +77,22 @@ func AblationTemporalSamples(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ns := range []int{2, 5, 10, 20, 40} {
+	nsValues := []int{2, 5, 10, 20, 40}
+	var specs []pointSpec
+	for _, ns := range nsValues {
 		sub := cfg
 		sub.NS = ns
-		rates := p.evolutionRates(sub, Fig5Root, true, cfg.Seed+uint64(ns))
+		specs = append(specs, p.evolutionSpecs(
+			fmt.Sprintf("ablation-ns/ns%d", ns), sub, Fig5Root, true, cfg.Seed+uint64(ns))...)
+	}
+	results := runSpecs(cfg, specs)
+	off := 0
+	for _, ns := range nsValues {
+		rates := resultRates(results[off : off+ns])
+		off += ns
 		t.Add(fmt.Sprintf("%d", ns), pct(stats.Mean(rates)))
 	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }
 
@@ -90,8 +106,13 @@ func AblationRounds(cfg Config) (*Table, error) {
 		Header: []string{"code", "rounds", "logical_error_at_impact", "two_qubit_gates"},
 	}
 	topo := arch.Mesh(5, 6)
-	for _, rounds := range []int{2, 3, 4, 6} {
-		code, err := qec.NewRepetitionRounds(15, rounds)
+	rounds := []int{2, 3, 4, 6}
+	var (
+		specs   []pointSpec
+		prepped []*prepared
+	)
+	for _, r := range rounds {
+		code, err := qec.NewRepetitionRounds(15, r)
 		if err != nil {
 			return nil, err
 		}
@@ -99,11 +120,17 @@ func AblationRounds(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev := p.strikeAt(12, 1.0, true)
-		rate := p.rate(cfg, ev, cfg.Seed+uint64(rounds))
-		t.Add(code.Name, fmt.Sprintf("%d", rounds), pct(rate),
-			fmt.Sprintf("%d", p.tr.Circuit.CountTwoQubit()))
+		prepped = append(prepped, p)
+		specs = append(specs, p.spec(
+			fmt.Sprintf("ablation-rounds/r%d", r), cfg,
+			p.strikeAt(12, 1.0, true), cfg.Seed+uint64(r)))
 	}
+	results := runSpecs(cfg, specs)
+	for i, r := range results {
+		t.Add(prepped[i].code.Name, fmt.Sprintf("%d", rounds[i]), pct(r.Rate()),
+			fmt.Sprintf("%d", prepped[i].tr.Circuit.CountTwoQubit()))
+	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }
 
@@ -120,6 +147,15 @@ func AblationLayout(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	topos := []arch.Topology{arch.Cairo(), arch.Brooklyn()}
+	type variant struct {
+		topo arch.Topology
+		name string
+		prep *prepared
+	}
+	var (
+		specs    []pointSpec
+		variants []variant
+	)
 	for ti, topo := range topos {
 		for _, strat := range []struct {
 			name string
@@ -131,10 +167,18 @@ func AblationLayout(cfg Config) (*Table, error) {
 			}
 			p := &prepared{code: code, tr: tr, dist: topo.Graph.AllPairsShortestPaths()}
 			ev := p.strikeAt(tr.Initial.LogToPhys[2], 1.0, true)
-			rate := p.rate(cfg, ev, cfg.Seed+uint64(ti)*31)
-			t.Add(code.Name, topo.Name, strat.name,
-				fmt.Sprintf("%d", tr.SwapCount), pct(rate))
+			specs = append(specs, p.spec(
+				fmt.Sprintf("ablation-layout/%s/%s", topo.Name, strat.name),
+				cfg, ev, cfg.Seed+uint64(ti)*31))
+			variants = append(variants, variant{topo, strat.name, p})
 		}
 	}
+	results := runSpecs(cfg, specs)
+	for i, r := range results {
+		v := variants[i]
+		t.Add(code.Name, v.topo.Name, v.name,
+			fmt.Sprintf("%d", v.prep.tr.SwapCount), pct(r.Rate()))
+	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }

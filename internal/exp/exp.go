@@ -2,11 +2,20 @@
 // evaluation (Figures 3-8), on top of the code builders, the
 // transpiler, the fault injector and the MWPM decoder. Every experiment
 // returns a Table whose rows reproduce the series the figure plots.
+//
+// Experiments no longer run their own shot loops: each figure emits
+// sweep-point specs — one injection campaign per measured point — and
+// the sweep engine fans them across workers, fixed-shot by default or
+// with adaptive Wilson-interval allocation when Config.CI is set. At
+// fixed-shot settings the output is byte-identical to the classic
+// per-figure loops, because every point consumes the same seed-derived
+// shot streams.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"radqec/internal/arch"
@@ -15,6 +24,7 @@ import (
 	"radqec/internal/qec"
 	"radqec/internal/rng"
 	"radqec/internal/stats"
+	"radqec/internal/sweep"
 )
 
 // Config controls campaign sizes and reproducibility.
@@ -31,6 +41,17 @@ type Config struct {
 	P float64
 	// NS is the temporal sample count of the step decay (paper: 10).
 	NS int
+	// CI, when positive, switches every measured point to adaptive
+	// shot allocation: batches are added until the Wilson 95%
+	// half-width of the point's rate is at most CI (or MaxShots is
+	// reached). Zero keeps the classic fixed-shot campaigns.
+	CI float64
+	// MaxShots caps adaptive allocation per point; 0 picks the
+	// worst-case fixed count that guarantees CI at any rate.
+	MaxShots int
+	// OnPoint, when set, observes every completed sweep point as it
+	// finishes — the hook behind the CLI's streaming JSON output.
+	OnPoint func(sweep.Result)
 }
 
 // Defaults returns cfg with unset fields replaced by the paper's
@@ -46,6 +67,17 @@ func (c Config) Defaults() Config {
 		c.NS = noise.DefaultSamples
 	}
 	return c
+}
+
+// sweepConfig maps the experiment configuration onto the sweep engine.
+func (c Config) sweepConfig() sweep.Config {
+	return sweep.Config{
+		Shots:    c.Shots,
+		CI:       c.CI,
+		MaxShots: c.MaxShots,
+		Workers:  c.Workers,
+		OnResult: c.OnPoint,
+	}
 }
 
 // Table is a printable experiment result.
@@ -131,19 +163,107 @@ func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
 	return &prepared{code: code, tr: tr, dist: topo.Graph.AllPairsShortestPaths()}, nil
 }
 
-// campaign builds the injection campaign for a radiation event.
-func (p *prepared) campaign(cfg Config, ev *noise.RadiationEvent) *inject.Campaign {
-	return &inject.Campaign{
-		Exec:     inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev),
-		Decode:   p.code.Decode,
-		Expected: p.code.ExpectedLogical(),
-		Workers:  cfg.Workers,
+// pointSpec is the sweep-point spec a figure emits: one injection
+// campaign — the prepared circuit under intrinsic noise at rate phys
+// plus one radiation event, read by one decoder — measured at one seed.
+type pointSpec struct {
+	key    string
+	prep   *prepared
+	phys   float64
+	ev     *noise.RadiationEvent
+	decode func(bits []int) int // nil selects the code's MWPM decoder
+	seed   uint64
+}
+
+// spec builds the spec measuring one radiation event at cfg's intrinsic
+// rate.
+func (p *prepared) spec(key string, cfg Config, ev *noise.RadiationEvent, seed uint64) pointSpec {
+	return pointSpec{key: key, prep: p, phys: cfg.P, ev: ev, seed: seed}
+}
+
+// point lowers the spec onto the sweep engine. The campaign is built
+// once, on the sweep worker that owns the point, and reused across
+// every shot batch; batch b covering shots [s, s+n) consumes exactly
+// the streams split(seed, s..s+n-1), so batching never perturbs rates.
+// shotWorkers caps the campaign's internal shot parallelism.
+func (s pointSpec) point(shotWorkers int) sweep.Point {
+	return sweep.Point{
+		Key: s.key,
+		Prepare: func() sweep.BatchRunner {
+			decode := s.decode
+			if decode == nil {
+				decode = s.prep.code.Decode
+			}
+			camp := &inject.Campaign{
+				Exec:     inject.NewExecutor(s.prep.tr.Circuit, noise.NewDepolarizing(s.phys), s.ev),
+				Decode:   decode,
+				Expected: s.prep.code.ExpectedLogical(),
+				Workers:  shotWorkers,
+			}
+			return func(start, n int) sweep.Counts {
+				r := camp.RunFrom(s.seed, start, n)
+				return sweep.Counts{Shots: r.Shots, Errors: r.Errors}
+			}
+		},
 	}
 }
 
-// rate estimates the logical error rate under one radiation event.
+// runSpecs fans the specs through the sweep engine, returning per-spec
+// results in input order. Point-level sharding and per-campaign shot
+// parallelism split the worker budget between them: a large grid runs
+// single-threaded campaigns on many point workers, while a small sweep
+// (down to one point) keeps shot-level parallelism, so the goroutine
+// count stays near the budget instead of squaring it.
+func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
+	if len(specs) == 0 {
+		return nil
+	}
+	budget := cfg.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	shotWorkers := (budget + len(specs) - 1) / len(specs)
+	points := make([]sweep.Point, len(specs))
+	for i, s := range specs {
+		points[i] = s.point(shotWorkers)
+	}
+	return sweep.Run(cfg.sweepConfig(), points)
+}
+
+// resultRates projects sweep results onto their rates.
+func resultRates(results []sweep.Result) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.Rate()
+	}
+	return out
+}
+
+// noteAdaptive appends the sweep's shot-budget note to the table. It is
+// silent in fixed mode, keeping fixed-shot output byte-identical to the
+// classic per-figure loops.
+func noteAdaptive(t *Table, cfg Config, resultSets ...[]sweep.Result) {
+	if cfg.CI <= 0 {
+		return
+	}
+	var all []sweep.Result
+	for _, rs := range resultSets {
+		all = append(all, rs...)
+	}
+	s := sweep.Summarize(cfg.sweepConfig(), all)
+	if s.FixedShots == 0 {
+		return
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"adaptive ci=%g: %d shots over %d points vs %d fixed-equivalent (%.1f%% saved), %d/%d points converged",
+		cfg.CI, s.TotalShots, s.Points, s.FixedShots,
+		100*(1-float64(s.TotalShots)/float64(s.FixedShots)), s.Converged, s.Points))
+}
+
+// rate estimates the logical error rate under one radiation event via a
+// single-point sweep.
 func (p *prepared) rate(cfg Config, ev *noise.RadiationEvent, seed uint64) float64 {
-	return p.campaign(cfg, ev).Run(seed, cfg.Shots).Rate()
+	return runSpecs(cfg, []pointSpec{p.spec("", cfg, ev, seed)})[0].Rate()
 }
 
 // strikeAt builds the radiation event for a strike rooted at physical
@@ -152,16 +272,22 @@ func (p *prepared) strikeAt(root int, rootProb float64, spread bool) *noise.Radi
 	return noise.NewRadiationEvent(p.dist[root], rootProb, spread)
 }
 
+// evolutionSpecs emits one spec per temporal sample of a full strike
+// evolution rooted at the given physical qubit.
+func (p *prepared) evolutionSpecs(key string, cfg Config, root int, spread bool, seed uint64) []pointSpec {
+	samples := noise.TemporalSamples(cfg.NS)
+	specs := make([]pointSpec, len(samples))
+	for k, rootProb := range samples {
+		specs[k] = p.spec(fmt.Sprintf("%s/t%d", key, k), cfg,
+			p.strikeAt(root, rootProb, spread), seed+uint64(k)*7919)
+	}
+	return specs
+}
+
 // evolutionRates returns the per-temporal-sample logical error rates of
 // a full strike evolution rooted at the given physical qubit.
 func (p *prepared) evolutionRates(cfg Config, root int, spread bool, seed uint64) []float64 {
-	samples := noise.TemporalSamples(cfg.NS)
-	rates := make([]float64, len(samples))
-	for k, rootProb := range samples {
-		ev := p.strikeAt(root, rootProb, spread)
-		rates[k] = p.rate(cfg, ev, seed+uint64(k)*7919)
-	}
-	return rates
+	return resultRates(runSpecs(cfg, p.evolutionSpecs(fmt.Sprintf("root%d", root), cfg, root, spread, seed)))
 }
 
 // usedRoots returns the physical qubits hosting circuit activity, the
@@ -169,15 +295,22 @@ func (p *prepared) evolutionRates(cfg Config, root int, spread bool, seed uint64
 func (p *prepared) usedRoots() []int { return p.tr.Used() }
 
 // medianOverRoots computes, per root, the median-over-time logical error
-// of a full strike evolution, returning roots and their medians.
-func (p *prepared) medianOverRoots(cfg Config, seed uint64) ([]int, []float64) {
+// of a full strike evolution. All roots' temporal samples go through one
+// sweep, so the whole root × time grid shares the worker pool.
+func (p *prepared) medianOverRoots(cfg Config, seed uint64) ([]int, []float64, []sweep.Result) {
 	roots := p.usedRoots()
-	medians := make([]float64, len(roots))
+	ns := len(noise.TemporalSamples(cfg.NS))
+	specs := make([]pointSpec, 0, len(roots)*ns)
 	for i, root := range roots {
-		rates := p.evolutionRates(cfg, root, true, seed+uint64(i)*104729)
-		medians[i] = stats.Median(rates)
+		specs = append(specs,
+			p.evolutionSpecs(fmt.Sprintf("root%d", root), cfg, root, true, seed+uint64(i)*104729)...)
 	}
-	return roots, medians
+	results := runSpecs(cfg, specs)
+	medians := make([]float64, len(roots))
+	for i := range roots {
+		medians[i] = stats.Median(resultRates(results[i*ns : (i+1)*ns]))
+	}
+	return roots, medians, results
 }
 
 // subgraphEvent builds the "hypernode" event of Figures 6-7: every qubit

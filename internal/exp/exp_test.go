@@ -2,15 +2,18 @@ package exp
 
 import (
 	"bytes"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
 
 	"radqec/internal/arch"
+	"radqec/internal/inject"
 	"radqec/internal/noise"
 	"radqec/internal/qec"
 	"radqec/internal/rng"
 	"radqec/internal/stats"
+	"radqec/internal/sweep"
 )
 
 // quickCfg keeps campaign sizes small enough for the test suite while
@@ -151,6 +154,86 @@ func TestSampleUsedSubgraphsStayInUsedSet(t *testing.T) {
 				t.Fatalf("subgraph leaked outside used set: %v", s)
 			}
 		}
+	}
+}
+
+// --- Sweep-engine integration ---
+
+// The fixed-vs-adaptive equivalence guarantee, half one: at fixed-shot
+// settings a sweep-backed rate equals the direct campaign run, because
+// batches partition the same seed-derived shot streams.
+func TestFixedSweepMatchesDirectCampaign(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg.Defaults()
+	ev := p.strikeAt(Fig5Root, 1.0, true)
+	camp := &inject.Campaign{
+		Exec:     inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev),
+		Decode:   code.Decode,
+		Expected: code.ExpectedLogical(),
+	}
+	want := camp.Run(77, cfg.Shots).Rate()
+	if got := p.rate(cfg, ev, 77); got != want {
+		t.Fatalf("sweep rate %v != direct campaign rate %v", got, want)
+	}
+}
+
+// The satellite determinism regression at the experiment level: the
+// same figure swept with 1 and with 8 workers must produce identical
+// tables, in fixed and in adaptive mode.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	run := func(cfg Config) *Table {
+		tab, err := Fig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	for _, cfg := range []Config{
+		{Shots: 30, Seed: 9, NS: 2},
+		{Seed: 9, NS: 2, CI: 0.12},
+	} {
+		one := cfg
+		one.Workers = 1
+		eight := cfg
+		eight.Workers = 8
+		a, b := run(one), run(eight)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("ci=%v: workers=1 and workers=8 tables differ:\n%v\nvs\n%v", cfg.CI, a, b)
+		}
+	}
+}
+
+// The adaptive acceptance check, scaled down: with a CI target, fig6
+// finishes under the fixed-shot budget that guarantees the same
+// precision, and every point ends within the target half-width.
+func TestAdaptiveFig6SavesShots(t *testing.T) {
+	const ci = 0.1
+	var results []sweep.Result
+	cfg := Config{Seed: 3, CI: ci, OnPoint: func(r sweep.Result) {
+		results = append(results, r)
+	}}
+	if _, err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no points streamed")
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Shots
+		if r.HalfWidth() > ci {
+			t.Fatalf("point %s half-width %v above target %v", r.Key, r.HalfWidth(), ci)
+		}
+	}
+	if fixed := sweep.WorstCaseShots(ci) * len(results); total >= fixed {
+		t.Fatalf("adaptive spent %d shots, fixed guarantee costs %d", total, fixed)
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 
 // Fig3 reproduces Figure 3: the temporal decay T(t) = e^{-10t} of the
 // radiation-induced fault and its ns-sample step approximation T̂(t).
+// The curve is closed-form, so unlike Figures 5-8 there is no campaign
+// to sweep: the table tabulates the model directly and Config.CI has no
+// effect.
 func Fig3(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	t := &Table{
@@ -30,7 +33,8 @@ func Fig3(cfg Config) *Table {
 
 // Fig4 reproduces Figure 4: the spatial decay S(d) = 1/(d+1)^2 of the
 // deposited charge over architecture-graph distance from the root impact
-// point, with the 100% peak at distance zero.
+// point, with the 100% peak at distance zero. Like Fig3 it is
+// closed-form — no sweep campaign behind it.
 func Fig4(cfg Config) *Table {
 	t := &Table{
 		Title:  "Figure 4: spatial decay of the radiation-induced fault",

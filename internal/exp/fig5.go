@@ -48,32 +48,55 @@ func Fig5(cfg Config) (*Table, error) {
 		{xxzz, arch.Mesh(5, 4)},
 	}
 	samples := noise.TemporalSamples(cfg.NS)
+	// One spec per (code, phys rate, temporal sample), in row order.
+	type rowMeta struct {
+		job  job
+		phys float64
+		k    int
+		prob float64
+	}
+	var (
+		specs []pointSpec
+		meta  []rowMeta
+	)
 	for ji, j := range jobs {
 		p, err := prepare(j.code, j.topo)
 		if err != nil {
 			return nil, err
 		}
-		var impactRates []float64
 		for pi, phys := range Fig5PhysicalRates() {
 			sub := cfg
 			sub.P = phys
 			for k, rootProb := range samples {
 				ev := p.strikeAt(Fig5Root, rootProb, true)
 				seed := cfg.Seed + uint64(ji*1000003+pi*1009+k*13)
-				rate := p.rate(sub, ev, seed)
-				t.Add(j.code.Name,
-					fmt.Sprintf("%.0e", phys),
-					fmt.Sprintf("%d", k),
-					fmt.Sprintf("%.4f", rootProb),
-					pct(rate))
-				if k == 0 {
-					impactRates = append(impactRates, rate)
-				}
+				specs = append(specs, p.spec(
+					fmt.Sprintf("fig5/%s/p%.0e/t%d", j.code.Name, phys, k), sub, ev, seed))
+				meta = append(meta, rowMeta{j, phys, k, rootProb})
 			}
 		}
-		t.Notes = append(t.Notes, fmt.Sprintf(
-			"%s: mean logical error at impact (root prob 100%%) across phys rates = %s",
-			j.code.Name, pct(stats.Mean(impactRates))))
 	}
+	results := runSpecs(cfg, specs)
+	var impactRates []float64
+	for i, r := range results {
+		m := meta[i]
+		rate := r.Rate()
+		t.Add(m.job.code.Name,
+			fmt.Sprintf("%.0e", m.phys),
+			fmt.Sprintf("%d", m.k),
+			fmt.Sprintf("%.4f", m.prob),
+			pct(rate))
+		if m.k == 0 {
+			impactRates = append(impactRates, rate)
+		}
+		// The per-code impact note closes when its block of rows ends.
+		if i+1 == len(results) || meta[i+1].job.code != m.job.code {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: mean logical error at impact (root prob 100%%) across phys rates = %s",
+				m.job.code.Name, pct(stats.Mean(impactRates))))
+			impactRates = impactRates[:0]
+		}
+	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }

@@ -42,21 +42,39 @@ func Fig6(cfg Config) (*Table, error) {
 		entries = append(entries, entry{"xxzz", c})
 	}
 	topo := arch.Mesh(5, 6)
+	// Per entry and per root, one decoded spec and one raw-readout spec;
+	// the whole family × root grid runs as a single sweep.
+	var (
+		specs      []pointSpec
+		rootCounts []int
+	)
 	for ei, e := range entries {
 		p, err := prepare(e.code, topo)
 		if err != nil {
 			return nil, err
 		}
 		roots := p.usedRoots()
-		rates := make([]float64, 0, len(roots))
-		rawRates := make([]float64, 0, len(roots))
+		rootCounts = append(rootCounts, len(roots))
 		for ri, root := range roots {
 			ev := p.strikeAt(root, 1.0, false) // erasure: no spatial spread
 			seed := cfg.Seed + uint64(ei*99991+ri*31)
-			rates = append(rates, p.rate(cfg, ev, seed))
-			rawCamp := p.campaign(cfg, ev)
-			rawCamp.Decode = e.code.RawLogical
-			rawRates = append(rawRates, rawCamp.Run(seed+1, cfg.Shots).Rate())
+			key := fmt.Sprintf("fig6/%s/root%d", e.code.Name, root)
+			specs = append(specs, p.spec(key+"/mwpm", cfg, ev, seed))
+			raw := p.spec(key+"/raw", cfg, ev, seed+1)
+			raw.decode = e.code.RawLogical
+			specs = append(specs, raw)
+		}
+	}
+	results := runSpecs(cfg, specs)
+	off := 0
+	for ei, e := range entries {
+		block := results[off : off+2*rootCounts[ei]]
+		off += len(block)
+		rates := make([]float64, 0, len(block)/2)
+		rawRates := make([]float64, 0, len(block)/2)
+		for i := 0; i < len(block); i += 2 {
+			rates = append(rates, block[i].Rate())
+			rawRates = append(rawRates, block[i+1].Rate())
 		}
 		lo, hi := stats.MinMax(rates)
 		t.Add(e.family,
@@ -68,5 +86,6 @@ func Fig6(cfg Config) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"median over every used physical qubit acting as the erasure root once",
 		"raw readout = uncorrected ancilla parity bit (no decoding)")
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }

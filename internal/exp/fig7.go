@@ -44,35 +44,61 @@ func Fig7(cfg Config) (*Table, error) {
 		{xxzz, []int{1, 9, 10, 14, 15}},
 	}
 	topo := arch.Mesh(5, 6)
+	// Emit every campaign of the figure — the per-root spreading
+	// references and the sampled size-k erasure subgraphs — as one spec
+	// list, then run a single sweep over all of it.
+	type group struct {
+		job       job
+		refCount  int   // spreading-reference specs
+		subCounts []int // subgraph specs per corruption size
+	}
+	var (
+		specs  []pointSpec
+		groups []group
+	)
 	for ji, j := range jobs {
 		p, err := prepare(j.code, topo)
 		if err != nil {
 			return nil, err
 		}
-		// Red line: single spreading strike at t=0, median over roots.
-		roots := p.usedRoots()
-		var spreadRates []float64
-		for ri, root := range roots {
+		g := group{job: j}
+		for ri, root := range p.usedRoots() {
 			ev := p.strikeAt(root, 1.0, true)
-			spreadRates = append(spreadRates, p.rate(cfg, ev, cfg.Seed+uint64(ji*7+ri)*613))
+			specs = append(specs, p.spec(
+				fmt.Sprintf("fig7/%s/spread/root%d", j.code.Name, root),
+				cfg, ev, cfg.Seed+uint64(ji*7+ri)*613))
+			g.refCount++
 		}
-		reference := stats.Median(spreadRates)
 		src := rng.New(cfg.Seed + uint64(ji) + 555)
 		for _, k := range j.ks {
 			subs := p.sampleUsedSubgraphs(k, Fig7SubgraphSamples, src)
-			if len(subs) == 0 {
-				t.Add(j.code.Name, fmt.Sprintf("%d", k), "n/a", "n/a (no size-k subgraph)", pct(reference))
-				continue
-			}
-			var rates []float64
+			g.subCounts = append(g.subCounts, len(subs))
 			for si, members := range subs {
 				ev := subgraphEvent(p.tr.Circuit.NumQubits, members, 1.0)
 				seed := cfg.Seed + uint64(ji*31337+k*769+si*97)
-				rates = append(rates, p.rate(cfg, ev, seed))
+				specs = append(specs, p.spec(
+					fmt.Sprintf("fig7/%s/erase%d/s%d", j.code.Name, k, si), cfg, ev, seed))
 			}
-			t.Add(j.code.Name, fmt.Sprintf("%d", k),
+		}
+		groups = append(groups, g)
+	}
+	results := runSpecs(cfg, specs)
+	off := 0
+	for _, g := range groups {
+		reference := stats.Median(resultRates(results[off : off+g.refCount]))
+		off += g.refCount
+		for ki, k := range g.job.ks {
+			count := g.subCounts[ki]
+			if count == 0 {
+				t.Add(g.job.code.Name, fmt.Sprintf("%d", k), "n/a", "n/a (no size-k subgraph)", pct(reference))
+				continue
+			}
+			rates := resultRates(results[off : off+count])
+			off += count
+			t.Add(g.job.code.Name, fmt.Sprintf("%d", k),
 				pct(stats.Mean(rates)), pct(stats.Median(rates)), pct(reference))
 		}
 	}
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }

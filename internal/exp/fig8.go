@@ -6,6 +6,7 @@ import (
 	"radqec/internal/arch"
 	"radqec/internal/qec"
 	"radqec/internal/stats"
+	"radqec/internal/sweep"
 )
 
 // Fig8RepTopologies lists the architectures the distance-(11,1)
@@ -64,13 +65,15 @@ func Fig8(cfg Config) (*Table, error) {
 		{rep, Fig8RepTopologies()},
 		{xxzz, Fig8XXZZTopologies()},
 	}
+	var all []sweep.Result
 	for ji, j := range jobs {
 		for ti, topo := range j.topos {
 			p, err := prepare(j.code, topo)
 			if err != nil {
 				return nil, err
 			}
-			roots, medians := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			roots, medians, results := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			all = append(all, results...)
 			for i, root := range roots {
 				role := p.tr.RoleOf(root)
 				if role == "" {
@@ -86,6 +89,7 @@ func Fig8(cfg Config) (*Table, error) {
 				j.code.Name, topo.Name, pct(stats.Median(medians)), pct(lo), pct(hi), p.tr.SwapCount))
 		}
 	}
+	noteAdaptive(t, cfg, all)
 	return t, nil
 }
 
@@ -115,13 +119,15 @@ func Fig8Summary(cfg Config) (*Table, error) {
 		{rep, Fig8RepTopologies()},
 		{xxzz, Fig8XXZZTopologies()},
 	}
+	var all []sweep.Result
 	for ji, j := range jobs {
 		for ti, topo := range j.topos {
 			p, err := prepare(j.code, topo)
 			if err != nil {
 				return nil, err
 			}
-			_, medians := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			_, medians, results := p.medianOverRoots(cfg, cfg.Seed+uint64(ji*5+ti)*179424673)
+			all = append(all, results...)
 			lo, hi := stats.MinMax(medians)
 			t.Add(j.code.Name, topo.Name,
 				fmt.Sprintf("%d", p.tr.SwapCount),
@@ -129,5 +135,6 @@ func Fig8Summary(cfg Config) (*Table, error) {
 				pct(lo), pct(stats.Median(medians)), pct(hi))
 		}
 	}
+	noteAdaptive(t, cfg, all)
 	return t, nil
 }

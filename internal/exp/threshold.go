@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"radqec/internal/arch"
-	"radqec/internal/inject"
 	"radqec/internal/noise"
 	"radqec/internal/qec"
 )
@@ -36,22 +35,28 @@ func Threshold(cfg Config) (*Table, error) {
 		}
 		prepped = append(prepped, p)
 	}
-	for pi, phys := range []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1} {
-		row := []string{fmt.Sprintf("%.0e", phys)}
+	physRates := []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1}
+	var specs []pointSpec
+	for pi, phys := range physRates {
 		for di, p := range prepped {
-			camp := &inject.Campaign{
-				Exec:     inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(phys), nil),
-				Decode:   p.code.Decode,
-				Expected: p.code.ExpectedLogical(),
-				Workers:  cfg.Workers,
-			}
-			r := camp.Run(cfg.Seed+uint64(pi*31+di), cfg.Shots)
-			row = append(row, pct(r.Rate()))
+			sub := cfg
+			sub.P = phys
+			specs = append(specs, p.spec(
+				fmt.Sprintf("threshold/rep-(%d,1)/p%.0e", distances[di], phys),
+				sub, noise.NoRadiation(p.tr.Circuit.NumQubits), cfg.Seed+uint64(pi*31+di)))
+		}
+	}
+	results := runSpecs(cfg, specs)
+	for pi, phys := range physRates {
+		row := []string{fmt.Sprintf("%.0e", phys)}
+		for di := range prepped {
+			row = append(row, pct(results[pi*len(prepped)+di].Rate()))
 		}
 		t.Add(row...)
 	}
 	t.Notes = append(t.Notes,
 		"below threshold larger distance suppresses the logical error; radiation (Fig 5) does not enjoy this")
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }
 
@@ -75,8 +80,11 @@ func LogicalLayer(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	impact := p.rate(cfg, p.strikeAt(Fig5Root, 1.0, true), cfg.Seed)
-	residual := p.rate(cfg, noise.NoRadiation(p.tr.Circuit.NumQubits), cfg.Seed+1)
+	results := runSpecs(cfg, []pointSpec{
+		p.spec("logical/impact", cfg, p.strikeAt(Fig5Root, 1.0, true), cfg.Seed),
+		p.spec("logical/residual", cfg, noise.NoRadiation(p.tr.Circuit.NumQubits), cfg.Seed+1),
+	})
+	impact, residual := results[0].Rate(), results[1].Rate()
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"patch model from xxzz-(3,3) campaign: impact error %s, residual %s",
 		pct(impact), pct(residual)))
@@ -85,5 +93,6 @@ func LogicalLayer(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, rows...)
+	noteAdaptive(t, cfg, results)
 	return t, nil
 }

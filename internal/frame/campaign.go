@@ -37,6 +37,13 @@ func (r Result) Rate() float64 {
 // Run executes shots deterministically: shot i consumes stream
 // split(seed, i) regardless of worker count.
 func (c *Campaign) Run(seed uint64, shots int) Result {
+	return c.RunFrom(seed, 0, shots)
+}
+
+// RunFrom executes the shot range [start, start+shots); it mirrors
+// inject.Campaign.RunFrom, so batched extensions of a campaign merge to
+// exactly the single-Run result.
+func (c *Campaign) RunFrom(seed uint64, start, shots int) Result {
 	if shots <= 0 {
 		return Result{}
 	}
@@ -57,7 +64,7 @@ func (c *Campaign) Run(seed uint64, shots int) Result {
 			f := NewFrame(c.Sim.circ.NumQubits)
 			bits := make([]int, c.Sim.circ.NumClbits)
 			local := Result{}
-			for shot := w; shot < shots; shot += workers {
+			for shot := start + w; shot < start+shots; shot += workers {
 				src := master.Split(uint64(shot))
 				for i := range bits {
 					bits[i] = 0

@@ -171,6 +171,28 @@ func TestFrameDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestFrameRunFromPartitionsMatchRun(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := Campaign{
+		Sim:      New(code.Circ, noise.NewDepolarizing(0.05), nil, 2),
+		Decode:   code.Decode,
+		Expected: 1,
+	}
+	whole := camp.Run(44, 900)
+	var merged Result
+	for _, r := range [][2]int{{0, 300}, {300, 299}, {599, 301}} {
+		part := camp.RunFrom(44, r[0], r[1])
+		merged.Shots += part.Shots
+		merged.Errors += part.Errors
+	}
+	if merged != whole {
+		t.Fatalf("partitioned runs %+v != whole run %+v", merged, whole)
+	}
+}
+
 func TestFrameGatePropagation(t *testing.T) {
 	// An injected X before a CNOT control must flip both measurement
 	// outcomes; model it with a unit-probability radiation fault whose

@@ -155,6 +155,16 @@ type Campaign struct {
 // The outcome is independent of Workers: shot i always consumes the RNG
 // stream split(seed, i).
 func (c *Campaign) Run(seed uint64, shots int) Result {
+	return c.RunFrom(seed, 0, shots)
+}
+
+// RunFrom executes the shot range [start, start+shots) of the campaign
+// identified by seed. Shot i still consumes the stream split(seed, i),
+// so partitioning a campaign into ranges — however they are batched or
+// parallelised — merges to exactly the result of one Run over the whole
+// range. Adaptive sweeps rely on this to extend a campaign without
+// replaying or perturbing earlier shots.
+func (c *Campaign) RunFrom(seed uint64, start, shots int) Result {
 	if shots <= 0 {
 		return Result{}
 	}
@@ -176,7 +186,7 @@ func (c *Campaign) Run(seed uint64, shots int) Result {
 			defer releaseTableau(tab)
 			bits := make([]int, c.Exec.circ.NumClbits)
 			local := Result{}
-			for shot := w; shot < shots; shot += workers {
+			for shot := start + w; shot < start+shots; shot += workers {
 				src := master.Split(uint64(shot))
 				tab.ResetState()
 				for i := range bits {

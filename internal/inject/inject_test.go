@@ -164,6 +164,27 @@ func TestCampaignWorkerInvariance(t *testing.T) {
 	}
 }
 
+func TestCampaignRunFromPartitionsMatchRun(t *testing.T) {
+	camp := &Campaign{
+		Exec:     NewExecutor(bellCircuit(), noise.NewDepolarizing(0.3), nil),
+		Decode:   func(bits []int) int { return bits[0] ^ bits[1] },
+		Expected: 0,
+	}
+	whole := camp.Run(42, 1000)
+	// Any partition of [0, 1000) into ranges must merge to the same
+	// counts — the contract batched sweeps extend campaigns on.
+	var merged Result
+	for _, r := range [][2]int{{0, 100}, {100, 1}, {101, 399}, {500, 500}} {
+		merged.Merge(camp.RunFrom(42, r[0], r[1]))
+	}
+	if merged != whole {
+		t.Fatalf("partitioned runs %+v != whole run %+v", merged, whole)
+	}
+	if (camp.RunFrom(42, 10, 0) != Result{}) {
+		t.Fatal("empty range produced shots")
+	}
+}
+
 func TestCampaignSeedSensitivity(t *testing.T) {
 	mk := func(seed uint64) Result {
 		camp := &Campaign{

@@ -32,14 +32,24 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for input already sorted ascending. It
+// performs no allocation or copying, so hot loops can sort a scratch
+// buffer once and read several quantiles from it.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
@@ -48,6 +58,33 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CVaR returns the conditional value at risk at level alpha: the mean of
+// the values at or above the alpha-quantile (the expected shortfall of
+// the worst (1-alpha) tail). The input is not modified.
+func CVaR(xs []float64, alpha float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return CVaRSorted(sorted, alpha)
+}
+
+// CVaRSorted is CVaR for input already sorted ascending, without
+// allocation.
+func CVaRSorted(sorted []float64, alpha float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	q := QuantileSorted(sorted, alpha)
+	s, n := 0.0, 0
+	for i := len(sorted) - 1; i >= 0 && sorted[i] >= q; i-- {
+		s += sorted[i]
+		n++
+	}
+	return s / float64(n)
 }
 
 // MinMax returns the extrema of xs; (0, 0) for an empty slice.
@@ -67,13 +104,17 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
+// Z95 is the 97.5th percentile of the standard normal — the z-score
+// behind every two-sided 95% interval in this package.
+const Z95 = 1.959963984540054
+
 // WilsonCI returns the Wilson score 95% confidence interval for a
 // binomial proportion with k successes out of n trials.
 func WilsonCI(k, n int) (lo, hi float64) {
 	if n == 0 {
 		return 0, 1
 	}
-	const z = 1.959963984540054 // 97.5 percentile of the normal
+	const z = Z95
 	p := float64(k) / float64(n)
 	nf := float64(n)
 	denom := 1 + z*z/nf
@@ -87,6 +128,13 @@ func WilsonCI(k, n int) (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// WilsonHalfWidth returns half the width of the Wilson 95% interval,
+// the precision measure adaptive campaigns stop on.
+func WilsonHalfWidth(k, n int) float64 {
+	lo, hi := WilsonCI(k, n)
+	return (hi - lo) / 2
 }
 
 // Variance returns the population variance, 0 for fewer than 2 samples.

@@ -83,6 +83,59 @@ func TestMedianProperty(t *testing.T) {
 	}
 }
 
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{7, 1, 4, 4, 9, 0, 2}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		if got, want := QuantileSorted(sorted, q), Quantile(xs, q); got != want {
+			t.Fatalf("QuantileSorted(%v) = %v, Quantile = %v", q, got, want)
+		}
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Fatal("QuantileSorted(nil) nonzero")
+	}
+}
+
+func TestQuantileSortedDoesNotAllocate(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	allocs := testing.AllocsPerRun(100, func() {
+		QuantileSorted(sorted, 0.9)
+		CVaRSorted(sorted, 0.75)
+	})
+	if allocs != 0 {
+		t.Fatalf("sorted-input variants allocated %.1f times per run", allocs)
+	}
+}
+
+func TestCVaR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// alpha=0.75 -> quantile 3.25; tail = {4}.
+	if got := CVaR(xs, 0.75); got != 4 {
+		t.Fatalf("CVaR(0.75) = %v", got)
+	}
+	// alpha=0 -> whole distribution.
+	if got := CVaR(xs, 0); got != 2.5 {
+		t.Fatalf("CVaR(0) = %v", got)
+	}
+	// CVaR never falls below the plain quantile.
+	for _, a := range []float64{0.1, 0.5, 0.9} {
+		if CVaR(xs, a) < Quantile(xs, a) {
+			t.Fatalf("CVaR(%v) below quantile", a)
+		}
+	}
+	if CVaR(nil, 0.5) != 0 {
+		t.Fatal("CVaR(nil) nonzero")
+	}
+}
+
+func TestWilsonHalfWidth(t *testing.T) {
+	lo, hi := WilsonCI(30, 100)
+	if got := WilsonHalfWidth(30, 100); got != (hi-lo)/2 {
+		t.Fatalf("WilsonHalfWidth = %v", got)
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	lo, hi := MinMax([]float64{3, -1, 7, 2})
 	if lo != -1 || hi != 7 {

@@ -1,0 +1,327 @@
+// Package sweep is the campaign orchestration layer of radqec: it fans
+// a set of sweep points (one measured configuration each — a code on a
+// topology under one fault parameterisation) across workers, reuses the
+// prepared simulator and decode graph of each point across shot batches,
+// and allocates shots either as a fixed count per point or adaptively in
+// batches until the Wilson 95% half-width of the point's logical error
+// rate drops to a target (subject to a hard per-point cap).
+//
+// Determinism contract: a point's BatchRunner must map shot i of its
+// campaign to the RNG stream split(seed, i), the same contract
+// inject.Campaign and frame.Campaign honour. Batch boundaries are pure
+// functions of the observed counts, and points never share random
+// state, so a sweep's per-point shot streams and rates are identical for
+// any Workers setting.
+package sweep
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"radqec/internal/stats"
+)
+
+// Counts accumulates the shot outcomes of one point.
+type Counts struct {
+	Shots, Errors int
+}
+
+func (c *Counts) merge(o Counts) {
+	c.Shots += o.Shots
+	c.Errors += o.Errors
+}
+
+// Rate returns the observed error rate, 0 before any shots.
+func (c Counts) Rate() float64 {
+	if c.Shots == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(c.Shots)
+}
+
+// BatchRunner executes the shot range [start, start+n) of one point's
+// campaign and returns its counts. Shot start+i must consume the RNG
+// stream split(seed, start+i) of the point's campaign seed, so that the
+// union of batches equals one contiguous fixed-shot run.
+type BatchRunner func(start, n int) Counts
+
+// Point is one measured configuration of a sweep.
+type Point struct {
+	// Key identifies the point in results and streaming output.
+	Key string
+	// Prepare builds the point's batch runner. It is called exactly
+	// once, lazily, on the worker that owns the point, so expensive
+	// per-point state (executors, decode graphs, pooled simulators) is
+	// built once and reused across every batch of the point.
+	Prepare func() BatchRunner
+}
+
+// Config controls shot allocation and parallelism.
+type Config struct {
+	// Shots is the fixed per-point shot count when CI is zero
+	// (default 2000, the paper harness default).
+	Shots int
+	// CI, when positive, switches every point to adaptive allocation:
+	// batches are added until the Wilson 95% half-width of the point's
+	// rate is at most CI, or MaxShots is reached.
+	CI float64
+	// MaxShots caps adaptive allocation per point. 0 picks
+	// WorstCaseShots(CI), the fixed count that guarantees the target at
+	// any rate — so adaptive mode can only spend fewer shots than the
+	// equivalent fixed campaign.
+	MaxShots int
+	// Batch is the adaptive first-batch and minimum-batch size
+	// (default 256).
+	Batch int
+	// Workers caps how many points run concurrently (0 = GOMAXPROCS).
+	Workers int
+	// OnResult, when set, receives each point's result as it completes.
+	// Calls are serialised; completion order depends on scheduling even
+	// though the results themselves do not.
+	OnResult func(Result)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shots <= 0 {
+		c.Shots = 2000
+	}
+	if c.CI > 0 && c.MaxShots <= 0 {
+		c.MaxShots = WorstCaseShots(c.CI)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+		// A first batch near the cap would spend the whole budget before
+		// the stopping rule ever fires; keep it a fraction of the cap so
+		// easy points can stop early even at loose targets.
+		if c.CI > 0 && c.Batch > c.MaxShots/8 {
+			c.Batch = c.MaxShots / 8
+			if c.Batch < 16 {
+				c.Batch = 16
+			}
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is the estimate a sweep produced for one point.
+type Result struct {
+	Key string
+	Counts
+	// CILo and CIHi bound the rate with the Wilson 95% interval.
+	CILo, CIHi float64
+	// BatchRates are the per-batch error rates in execution order — the
+	// shot stream's coarse trajectory, input to the tail statistics.
+	BatchRates []float64
+	// Tail summarises the risk profile of the per-batch rates.
+	Tail Tail
+	// Converged reports whether the Wilson half-width target was met
+	// (always true in fixed mode, which has no target).
+	Converged bool
+}
+
+// HalfWidth returns half the Wilson interval width.
+func (r Result) HalfWidth() float64 { return (r.CIHi - r.CILo) / 2 }
+
+// Tail captures the upper tail of the per-batch rate distribution: the
+// median and high quantiles, and the CVaR-style expected shortfall of
+// the worst decile — the "how bad do bad batches get" summary.
+type Tail struct {
+	Q50, Q90, Q99, CVaR90 float64
+}
+
+// WorstCaseShots returns the fixed per-point shot count that guarantees
+// a Wilson 95% half-width of at most ci at any error rate. The width is
+// maximal at rate 1/2, where the Wilson interval is never wider than the
+// Wald interval, so the Wald worst case z²/(4·ci²) suffices.
+func WorstCaseShots(ci float64) int {
+	if ci <= 0 {
+		return 0
+	}
+	n := int(stats.Z95 * stats.Z95 / (4 * ci * ci))
+	if n < 1 {
+		n = 1
+	}
+	for stats.WilsonHalfWidth(n/2, n) > ci {
+		n++
+	}
+	return n
+}
+
+// Run executes every point and returns results in input order. The
+// results are independent of cfg.Workers; only wall-clock time and
+// OnResult delivery order vary with it.
+func Run(cfg Config, points []Point) []Result {
+	cfg = cfg.withDefaults()
+	results := make([]Result, len(points))
+	workers := cfg.Workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers == 0 {
+		return results
+	}
+	var (
+		mu   sync.Mutex // serialises OnResult
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []float64 // reused sorted buffer for tail stats
+			for i := range next {
+				r := runPoint(cfg, points[i], &scratch)
+				results[i] = r
+				if cfg.OnResult != nil {
+					mu.Lock()
+					cfg.OnResult(r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// runPoint drives one point to its stopping rule.
+func runPoint(cfg Config, p Point, scratch *[]float64) Result {
+	run := p.Prepare()
+	r := Result{Key: p.Key}
+	if cfg.CI <= 0 {
+		r.Converged = runFixed(cfg, run, &r)
+	} else {
+		r.Converged = runAdaptive(cfg, run, &r)
+	}
+	r.CILo, r.CIHi = stats.WilsonCI(r.Errors, r.Shots)
+	r.Tail = tailOf(r.BatchRates, scratch)
+	return r
+}
+
+// runFixed executes exactly cfg.Shots shots, split into batches only so
+// the per-batch tail statistics exist; the merged counts equal a single
+// contiguous run by the BatchRunner contract.
+func runFixed(cfg Config, run BatchRunner, r *Result) bool {
+	batch := (cfg.Shots + fixedBatches - 1) / fixedBatches
+	if batch < 1 {
+		batch = 1
+	}
+	for r.Shots < cfg.Shots {
+		n := cfg.Shots - r.Shots
+		if n > batch {
+			n = batch
+		}
+		r.record(run(r.Shots, n))
+	}
+	return true
+}
+
+// fixedBatches is how many batches a fixed-shot point is split into for
+// tail statistics.
+const fixedBatches = 8
+
+// runAdaptive adds batches until the Wilson half-width target is met or
+// the cap is exhausted, sizing each batch from the current rate estimate
+// so most points need only two or three allocation rounds.
+func runAdaptive(cfg Config, run BatchRunner, r *Result) bool {
+	for {
+		n := nextBatch(cfg, r.Counts)
+		if n == 0 {
+			return false // cap reached before the target
+		}
+		r.record(run(r.Shots, n))
+		if stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI {
+			return true
+		}
+	}
+}
+
+// record folds one batch into the running counts and batch-rate stream.
+func (r *Result) record(c Counts) {
+	r.merge(c)
+	r.BatchRates = append(r.BatchRates, c.Rate())
+}
+
+// nextBatch sizes the next adaptive batch: the estimated shots still
+// needed for the target at the observed rate, floored at cfg.Batch and
+// ceilinged by the remaining cap. It returns 0 when the cap is spent.
+func nextBatch(cfg Config, c Counts) int {
+	remaining := cfg.MaxShots - c.Shots
+	if remaining <= 0 {
+		return 0
+	}
+	n := cfg.Batch
+	if c.Shots > 0 {
+		// Wald-style inversion n* ≈ z²·p(1-p)/ci²; the loop in
+		// runAdaptive re-checks the exact Wilson width, so this only
+		// has to land close.
+		p := c.Rate()
+		need := int(stats.Z95*stats.Z95*p*(1-p)/(cfg.CI*cfg.CI)) - c.Shots
+		if need > n {
+			n = need
+		}
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return n
+}
+
+// tailOf computes the tail summary of the batch rates using the shared
+// scratch buffer, so the hot path sorts once and never allocates beyond
+// the buffer's high-water mark.
+func tailOf(batchRates []float64, scratch *[]float64) Tail {
+	if len(batchRates) == 0 {
+		return Tail{}
+	}
+	s := append((*scratch)[:0], batchRates...)
+	sort.Float64s(s)
+	*scratch = s
+	return Tail{
+		Q50:    stats.QuantileSorted(s, 0.50),
+		Q90:    stats.QuantileSorted(s, 0.90),
+		Q99:    stats.QuantileSorted(s, 0.99),
+		CVaR90: stats.CVaRSorted(s, 0.90),
+	}
+}
+
+// Summary aggregates a sweep's shot budget against the fixed-shot
+// campaign with the same precision guarantee.
+type Summary struct {
+	// Points is the number of measured points.
+	Points int
+	// TotalShots is the number of shots the sweep actually executed.
+	TotalShots int
+	// FixedShots is what the equivalent fixed campaign would have
+	// executed: MaxShots per point in adaptive mode, Shots per point in
+	// fixed mode (where the two are equal by construction).
+	FixedShots int
+	// Converged counts points that met the half-width target.
+	Converged int
+}
+
+// Summarize derives the shot-budget summary of a completed sweep.
+func Summarize(cfg Config, results []Result) Summary {
+	cfg = cfg.withDefaults()
+	perPoint := cfg.Shots
+	if cfg.CI > 0 {
+		perPoint = cfg.MaxShots
+	}
+	s := Summary{Points: len(results), FixedShots: perPoint * len(results)}
+	for _, r := range results {
+		s.TotalShots += r.Shots
+		if r.Converged {
+			s.Converged++
+		}
+	}
+	return s
+}

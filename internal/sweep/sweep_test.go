@@ -1,0 +1,199 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"radqec/internal/rng"
+	"radqec/internal/stats"
+)
+
+// bernoulliPoint builds a synthetic point honouring the campaign
+// determinism contract: shot i of the point consumes split(seed, i).
+func bernoulliPoint(key string, seed uint64, p float64) Point {
+	return Point{
+		Key: key,
+		Prepare: func() BatchRunner {
+			master := rng.New(seed)
+			return func(start, n int) Counts {
+				c := Counts{}
+				for i := start; i < start+n; i++ {
+					c.Shots++
+					if master.Split(uint64(i)).Float64() < p {
+						c.Errors++
+					}
+				}
+				return c
+			}
+		},
+	}
+}
+
+// countShots counts errors of the same stream over one contiguous range.
+func countShots(seed uint64, p float64, shots int) Counts {
+	pt := bernoulliPoint("", seed, p)
+	return pt.Prepare()(0, shots)
+}
+
+func TestFixedModeMatchesContiguousRun(t *testing.T) {
+	cfg := Config{Shots: 1000}
+	res := Run(cfg, []Point{bernoulliPoint("a", 3, 0.3)})
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	want := countShots(3, 0.3, 1000)
+	if res[0].Counts != want {
+		t.Fatalf("fixed sweep %+v != contiguous run %+v", res[0].Counts, want)
+	}
+	if !res[0].Converged {
+		t.Fatal("fixed mode should report converged")
+	}
+	if len(res[0].BatchRates) != fixedBatches {
+		t.Fatalf("batch rates = %d, want %d", len(res[0].BatchRates), fixedBatches)
+	}
+	if lo, hi := stats.WilsonCI(want.Errors, want.Shots); res[0].CILo != lo || res[0].CIHi != hi {
+		t.Fatalf("CI [%v,%v] mismatch", res[0].CILo, res[0].CIHi)
+	}
+}
+
+// The satellite regression: identical per-point shot streams and rates
+// for Workers=1 and Workers=8, in both fixed and adaptive mode.
+func TestRunWorkerDeterminism(t *testing.T) {
+	mkPoints := func() []Point {
+		var pts []Point
+		for i := 0; i < 24; i++ {
+			p := float64(i%7) / 10 // rates 0.0 .. 0.6
+			pts = append(pts, bernoulliPoint(fmt.Sprintf("p%d", i), uint64(100+i), p))
+		}
+		return pts
+	}
+	for _, cfg := range []Config{
+		{Shots: 700},
+		{CI: 0.05, Batch: 100},
+	} {
+		one := cfg
+		one.Workers = 1
+		eight := cfg
+		eight.Workers = 8
+		a := Run(one, mkPoints())
+		b := Run(eight, mkPoints())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cfg %+v: workers=1 and workers=8 disagree", cfg)
+		}
+	}
+}
+
+func TestAdaptiveStopsAtTarget(t *testing.T) {
+	const ci = 0.02
+	cfg := Config{CI: ci}
+	res := Run(cfg, []Point{bernoulliPoint("easy", 9, 0.01)})[0]
+	if !res.Converged {
+		t.Fatalf("easy point did not converge: %+v", res.Counts)
+	}
+	if res.HalfWidth() > ci {
+		t.Fatalf("half-width %v above target %v", res.HalfWidth(), ci)
+	}
+	if cap := WorstCaseShots(ci); res.Shots >= cap {
+		t.Fatalf("easy point used %d shots, cap is %d", res.Shots, cap)
+	}
+}
+
+func TestAdaptiveSavesShotsOverFixedGuarantee(t *testing.T) {
+	const ci = 0.03
+	cfg := Config{CI: ci}
+	var pts []Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, bernoulliPoint(fmt.Sprintf("p%d", i), uint64(i), float64(i)/20))
+	}
+	results := Run(cfg, pts)
+	s := Summarize(cfg, results)
+	if s.TotalShots >= s.FixedShots {
+		t.Fatalf("adaptive used %d shots, fixed guarantee costs %d", s.TotalShots, s.FixedShots)
+	}
+	for _, r := range results {
+		if r.HalfWidth() > ci {
+			t.Fatalf("point %s half-width %v above %v", r.Key, r.HalfWidth(), ci)
+		}
+	}
+	if s.Converged != s.Points {
+		t.Fatalf("converged %d of %d despite default worst-case cap", s.Converged, s.Points)
+	}
+}
+
+func TestAdaptiveRespectsCap(t *testing.T) {
+	cfg := Config{CI: 0.001, MaxShots: 500, Batch: 128}
+	res := Run(cfg, []Point{bernoulliPoint("hard", 5, 0.5)})[0]
+	if res.Shots != 500 {
+		t.Fatalf("shots = %d, want the 500 cap", res.Shots)
+	}
+	if res.Converged {
+		t.Fatal("cap-limited point reported converged")
+	}
+}
+
+func TestWorstCaseShots(t *testing.T) {
+	for _, ci := range []float64{0.05, 0.02, 0.01} {
+		n := WorstCaseShots(ci)
+		if n <= 0 {
+			t.Fatalf("WorstCaseShots(%v) = %d", ci, n)
+		}
+		if got := stats.WilsonHalfWidth(n/2, n); got > ci {
+			t.Fatalf("half-width %v at worst-case n=%d exceeds %v", got, n, ci)
+		}
+	}
+	// ci=0.01 must land near the Wald worst case z²/(4·ci²) ≈ 9604.
+	if n := WorstCaseShots(0.01); n < 9000 || n > 9700 {
+		t.Fatalf("WorstCaseShots(0.01) = %d", n)
+	}
+	if WorstCaseShots(0) != 0 {
+		t.Fatal("WorstCaseShots(0) nonzero")
+	}
+}
+
+func TestTailStatistics(t *testing.T) {
+	// One point, fixed mode: tail stats must equal the stats-package
+	// view of the recorded batch rates.
+	res := Run(Config{Shots: 2000}, []Point{bernoulliPoint("t", 77, 0.3)})[0]
+	br := res.BatchRates
+	want := Tail{
+		Q50:    stats.Quantile(br, 0.50),
+		Q90:    stats.Quantile(br, 0.90),
+		Q99:    stats.Quantile(br, 0.99),
+		CVaR90: stats.CVaR(br, 0.90),
+	}
+	if res.Tail != want {
+		t.Fatalf("tail %+v, want %+v", res.Tail, want)
+	}
+	if res.Tail.CVaR90 < res.Tail.Q90 {
+		t.Fatal("CVaR below its quantile")
+	}
+}
+
+func TestOnResultStreamsEveryPoint(t *testing.T) {
+	var keys []string
+	cfg := Config{Shots: 50, Workers: 4, OnResult: func(r Result) {
+		keys = append(keys, r.Key) // serialised by the engine
+	}}
+	var pts []Point
+	for i := 0; i < 9; i++ {
+		pts = append(pts, bernoulliPoint(fmt.Sprintf("k%d", i), uint64(i), 0.2))
+	}
+	Run(cfg, pts)
+	if len(keys) != len(pts) {
+		t.Fatalf("streamed %d results, want %d", len(keys), len(pts))
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if k != fmt.Sprintf("k%d", i) {
+			t.Fatalf("stream keys = %v", keys)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if res := Run(Config{}, nil); len(res) != 0 {
+		t.Fatalf("empty sweep produced %d results", len(res))
+	}
+}
