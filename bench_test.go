@@ -15,6 +15,7 @@ import (
 	"radqec/internal/arch"
 	"radqec/internal/core"
 	"radqec/internal/exp"
+	"radqec/internal/frame"
 	"radqec/internal/inject"
 	"radqec/internal/matching"
 	"radqec/internal/noise"
@@ -278,6 +279,62 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 	}
 }
 
+// Engine benches: the Fig. 5 repetition-code campaign grid (8 physical
+// error rates x 10 temporal samples of a spreading strike at the
+// paper's root, decode included) sampled by the scalar frame engine
+// versus the bit-parallel batched engine. The reported shots/s is the
+// acceptance metric of the batched engine: >= 10x scalar on this grid.
+
+func benchFig5RepGrid(b *testing.B, batched bool) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	samples := noise.TemporalSamples(10)
+	const shots = 2048
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pi, p := range exp.Fig5PhysicalRates() {
+			for k, rootProb := range samples {
+				ev := noise.NewRadiationEvent(dist[exp.Fig5Root], rootProb, true)
+				sim := frame.New(tr.Circuit, noise.NewDepolarizing(p), ev, 1)
+				seed := uint64(pi*1009 + k*13)
+				if batched {
+					camp := &frame.BatchCampaign{
+						Sim:         frame.NewBatchSimulator(sim),
+						DecodeBatch: code.DecodeBatch,
+						Expected:    code.ExpectedLogical(),
+						Workers:     1,
+					}
+					camp.Run(seed, shots)
+				} else {
+					camp := &frame.Campaign{
+						Sim:      sim,
+						Decode:   code.Decode,
+						Expected: code.ExpectedLogical(),
+						Workers:  1,
+					}
+					camp.Run(seed, shots)
+				}
+				total += shots
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkFrameEnginesFig5Rep(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) { benchFig5RepGrid(b, false) })
+	b.Run("batched", func(b *testing.B) { benchFig5RepGrid(b, true) })
+}
+
 // Microbenches for the hot substrates.
 
 func BenchmarkShotRepetition15(b *testing.B) {
@@ -296,6 +353,7 @@ func BenchmarkShotRepetition15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bits := ex.Run(rng.New(uint64(i)))
 		_ = code.Decode(bits)
+		inject.ReleaseBits(bits)
 	}
 }
 
@@ -315,6 +373,7 @@ func BenchmarkShotXXZZ33(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bits := ex.Run(rng.New(uint64(i)))
 		_ = code.Decode(bits)
+		inject.ReleaseBits(bits)
 	}
 }
 

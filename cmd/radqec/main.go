@@ -15,6 +15,12 @@
 //	-workers N   parallel shot runners (default GOMAXPROCS)
 //	-p RATE      intrinsic physical error rate (default 0.01)
 //	-ns N        temporal samples of the fault decay (default 10)
+//	-engine E    simulation engine: auto (default), tableau, frame, or
+//	             batch. auto runs frame-exact campaigns (the repetition
+//	             family) on the bit-parallel batched frame engine and
+//	             everything else on the stabilizer tableau; frame/batch
+//	             force the Pauli-frame engines everywhere (approximate
+//	             for radiation on superposed XXZZ sites)
 //	-ci W        target Wilson 95% half-width; >0 turns on adaptive
 //	             shot allocation per point (default off)
 //	-maxshots N  adaptive per-point shot cap (0 = worst-case count
@@ -101,6 +107,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel shot runners (0 = GOMAXPROCS)")
 	p := flag.Float64("p", 0.01, "intrinsic physical error rate")
 	ns := flag.Int("ns", 10, "temporal samples of the fault decay")
+	engine := flag.String("engine", exp.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
 	ci := flag.Float64("ci", 0, "target Wilson 95% half-width per point (>0 enables adaptive shots)")
 	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -114,6 +121,17 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	valid := false
+	for _, e := range exp.Engines() {
+		if *engine == e {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "radqec: unknown engine %q (want one of %v)\n", *engine, exp.Engines())
+		os.Exit(2)
+	}
 	cfg := exp.Config{
 		Shots:    *shots,
 		Seed:     *seed,
@@ -122,6 +140,7 @@ func main() {
 		NS:       *ns,
 		CI:       *ci,
 		MaxShots: *maxShots,
+		Engine:   *engine,
 	}
 
 	var out io.Writer = os.Stdout

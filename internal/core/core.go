@@ -18,6 +18,8 @@ import (
 	"fmt"
 
 	"radqec/internal/arch"
+	"radqec/internal/circuit"
+	"radqec/internal/frame"
 	"radqec/internal/inject"
 	"radqec/internal/noise"
 	"radqec/internal/qec"
@@ -28,6 +30,23 @@ import (
 const (
 	FamilyRepetition = "repetition"
 	FamilyXXZZ       = "xxzz"
+)
+
+// Engine names for Options.Engine.
+const (
+	// EngineAuto (the default) picks the bit-parallel batched frame
+	// engine where it is exact — computational-basis circuits, i.e. the
+	// whole repetition family — and the tableau engine everywhere else.
+	EngineAuto = "auto"
+	// EngineTableau forces the stabilizer tableau: exact for every
+	// circuit and fault, O(gates·n) per shot.
+	EngineTableau = "tableau"
+	// EngineFrame forces the scalar Pauli-frame engine: O(gates) per
+	// shot, approximate for radiation resets on superposed sites.
+	EngineFrame = "frame"
+	// EngineBatch forces the bit-parallel frame engine: 64 shots per
+	// uint64 word, same validity domain as EngineFrame.
+	EngineBatch = "batch"
 )
 
 // CodeSpec selects a surface code and its distance tuple.
@@ -58,6 +77,9 @@ type Options struct {
 	Seed uint64
 	// Workers caps shot parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the simulation engine (EngineAuto, EngineTableau,
+	// EngineFrame or EngineBatch); empty means EngineAuto.
+	Engine string
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Topology == "" {
 		o.Topology = "mesh"
+	}
+	if o.Engine == "" {
+		o.Engine = EngineAuto
 	}
 	return o
 }
@@ -126,6 +151,11 @@ type Simulator struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int
+	// frameExact records whether the frame engines are exact for any
+	// fault configuration on this circuit (no H/S gates: the state never
+	// leaves the computational basis), which lets EngineAuto pick the
+	// bit-parallel engine.
+	frameExact bool
 }
 
 // NewSimulator builds the code, transpiles it onto the topology and
@@ -147,6 +177,9 @@ func NewSimulator(opts Options) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := ResolveEngine(opts.Engine, false); err != nil {
+		return nil, err
+	}
 	topo, err := arch.ByName(opts.Topology, code.NumQubits())
 	if err != nil {
 		return nil, err
@@ -156,10 +189,11 @@ func NewSimulator(opts Options) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{
-		opts: opts,
-		code: code,
-		tr:   tr,
-		dist: topo.Graph.AllPairsShortestPaths(),
+		opts:       opts,
+		code:       code,
+		tr:         tr,
+		dist:       topo.Graph.AllPairsShortestPaths(),
+		frameExact: frame.ExactFor(tr.Circuit),
 	}, nil
 }
 
@@ -176,18 +210,103 @@ func (s *Simulator) NumPhysicalQubits() int { return s.tr.Circuit.NumQubits }
 // meaningful strike roots.
 func (s *Simulator) UsedQubits() []int { return s.tr.Used() }
 
-func (s *Simulator) campaign(ev *noise.RadiationEvent) *inject.Campaign {
-	return &inject.Campaign{
-		Exec:     inject.NewExecutor(s.tr.Circuit, noise.NewDepolarizing(s.opts.PhysicalErrorRate), ev),
-		Decode:   s.code.Decode,
-		Expected: s.code.ExpectedLogical(),
-		Workers:  s.opts.Workers,
+// EngineRunner executes the shot range [start, start+n) of one
+// campaign and reports its counts; ranges partition to exactly one
+// contiguous run (the determinism contract of every engine).
+type EngineRunner func(start, n int) (shots, errors int)
+
+// NewEngineRunner builds the campaign of a resolved engine name and
+// returns its range runner — the single construction point shared by
+// the core façade and the experiment sweeps. decode and decodeBatch
+// are the scalar and word-parallel views of the same decoder; the
+// batched engine prefers decodeBatch and falls back to unpacking lanes
+// through decode. seed doubles as the frame engines' reference seed.
+func NewEngineRunner(engine string, circ *circuit.Circuit, dep noise.Depolarizing,
+	ev *noise.RadiationEvent, seed uint64, expected int,
+	decode func(bits []int) int, decodeBatch frame.BatchDecodeFunc, workers int) EngineRunner {
+	switch engine {
+	case EngineBatch:
+		if decodeBatch == nil {
+			decodeBatch = frame.LaneDecode(decode, circ.NumClbits)
+		}
+		camp := &frame.BatchCampaign{
+			Sim:         frame.NewBatch(circ, dep, ev, seed),
+			DecodeBatch: decodeBatch,
+			Expected:    expected,
+			Workers:     workers,
+		}
+		return func(start, n int) (int, int) {
+			r := camp.RunFrom(seed, start, n)
+			return r.Shots, r.Errors
+		}
+	case EngineFrame:
+		camp := &frame.Campaign{
+			Sim:      frame.New(circ, dep, ev, seed),
+			Decode:   decode,
+			Expected: expected,
+			Workers:  workers,
+		}
+		return func(start, n int) (int, int) {
+			r := camp.RunFrom(seed, start, n)
+			return r.Shots, r.Errors
+		}
+	case EngineTableau:
+		camp := &inject.Campaign{
+			Exec:     inject.NewExecutor(circ, dep, ev),
+			Decode:   decode,
+			Expected: expected,
+			Workers:  workers,
+		}
+		return func(start, n int) (int, int) {
+			r := camp.RunFrom(seed, start, n)
+			return r.Shots, r.Errors
+		}
+	default:
+		// "auto"/"" must go through ResolveEngine first; a silent
+		// tableau fallback here would forfeit auto-selection unnoticed.
+		panic(fmt.Sprintf("core: NewEngineRunner requires a resolved engine, got %q", engine))
 	}
 }
 
+// ResolveEngine maps a configured engine name onto the engine that
+// will actually run: explicit names resolve to themselves, "" and
+// EngineAuto pick EngineBatch when the campaign is frame-exact (see
+// frame.ExactFor) and EngineTableau otherwise. Unknown names are an
+// error. This is the single auto-selection policy shared by the core
+// façade and the experiment sweeps.
+func ResolveEngine(engine string, frameExact bool) (string, error) {
+	switch engine {
+	case EngineTableau, EngineFrame, EngineBatch:
+		return engine, nil
+	case "", EngineAuto:
+		if frameExact {
+			return EngineBatch, nil
+		}
+		return EngineTableau, nil
+	default:
+		return "", fmt.Errorf("core: unknown engine %q", engine)
+	}
+}
+
+// engine resolves the configured engine for this simulator; the name
+// was validated in NewSimulator.
+func (s *Simulator) engine() string {
+	eng, _ := ResolveEngine(s.opts.Engine, s.frameExact)
+	return eng
+}
+
+// runWith executes one fixed-shot campaign on the resolved engine.
+func (s *Simulator) runWith(ev *noise.RadiationEvent, seed uint64,
+	decode func([]int) int, decodeBatch frame.BatchDecodeFunc) Result {
+	run := NewEngineRunner(s.engine(), s.tr.Circuit,
+		noise.NewDepolarizing(s.opts.PhysicalErrorRate), ev, seed,
+		s.code.ExpectedLogical(), decode, decodeBatch, s.opts.Workers)
+	shots, errors := run(0, s.opts.Shots)
+	return Result{Shots: shots, Errors: errors}
+}
+
 func (s *Simulator) run(ev *noise.RadiationEvent, seed uint64) Result {
-	r := s.campaign(ev).Run(seed, s.opts.Shots)
-	return Result{Shots: r.Shots, Errors: r.Errors}
+	return s.runWith(ev, seed, s.code.Decode, s.code.DecodeBatch)
 }
 
 // Clean estimates the logical error rate with intrinsic noise only.
@@ -245,8 +364,5 @@ func (s *Simulator) Erase(members []int) Result {
 // readout under a full-impact strike, for decoder-vs-raw comparisons.
 func (s *Simulator) RawReadoutStrike(root int, spread bool) Result {
 	ev := noise.NewRadiationEvent(s.dist[root], 1.0, spread)
-	camp := s.campaign(ev)
-	camp.Decode = s.code.RawLogical
-	r := camp.Run(s.opts.Seed, s.opts.Shots)
-	return Result{Shots: r.Shots, Errors: r.Errors}
+	return s.runWith(ev, s.opts.Seed, s.code.RawLogical, s.code.RawLogicalBatch)
 }

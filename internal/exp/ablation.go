@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"radqec/internal/arch"
+	"radqec/internal/frame"
 	"radqec/internal/qec"
 	"radqec/internal/stats"
 )
@@ -28,6 +29,10 @@ func AblationDecoder(cfg Config) (*Table, error) {
 	type decoder struct {
 		name   string
 		decode func([]int) int
+		// decodeBatch is the word-parallel twin, for decoders that have
+		// one (lane-for-lane identical); the rest decode lane-by-lane
+		// when the batched engine runs the campaign.
+		decodeBatch frame.BatchDecodeFunc
 	}
 	var (
 		specs []pointSpec
@@ -42,13 +47,14 @@ func AblationDecoder(cfg Config) (*Table, error) {
 		// The three decoders read the same campaign at the same seed, so
 		// they see identical shot streams and differ only in decoding.
 		for _, dec := range []decoder{
-			{"blossom", code.Decode},
-			{"union-find", code.DecodeUnionFind},
-			{"greedy", code.DecodeGreedy},
+			{"blossom", code.Decode, code.DecodeBatch},
+			{"union-find", code.DecodeUnionFind, nil},
+			{"greedy", code.DecodeGreedy, nil},
 		} {
 			s := p.spec(fmt.Sprintf("ablation-decoder/%s/%s", code.Name, dec.name),
 				cfg, ev, cfg.Seed+uint64(ci))
 			s.decode = dec.decode
+			s.decodeBatch = dec.decodeBatch
 			specs = append(specs, s)
 			names = append(names, dec.name)
 		}

@@ -19,13 +19,28 @@ import (
 	"strings"
 
 	"radqec/internal/arch"
-	"radqec/internal/inject"
+	"radqec/internal/core"
+	"radqec/internal/frame"
 	"radqec/internal/noise"
 	"radqec/internal/qec"
 	"radqec/internal/rng"
 	"radqec/internal/stats"
 	"radqec/internal/sweep"
 )
+
+// Simulation engine names for Config.Engine, shared with the core
+// façade (see the core package for per-engine cost and validity).
+const (
+	EngineAuto    = core.EngineAuto
+	EngineTableau = core.EngineTableau
+	EngineFrame   = core.EngineFrame
+	EngineBatch   = core.EngineBatch
+)
+
+// Engines lists the recognised Config.Engine values.
+func Engines() []string {
+	return []string{EngineAuto, EngineTableau, EngineFrame, EngineBatch}
+}
 
 // Config controls campaign sizes and reproducibility.
 type Config struct {
@@ -52,6 +67,12 @@ type Config struct {
 	// OnPoint, when set, observes every completed sweep point as it
 	// finishes — the hook behind the CLI's streaming JSON output.
 	OnPoint func(sweep.Result)
+	// Engine selects the simulation engine (EngineAuto, EngineTableau,
+	// EngineFrame or EngineBatch); empty means EngineAuto. Unrecognised
+	// names panic when the sweep is built — programmer error, like the
+	// probability guards in package noise; the CLI validates its flag
+	// first, and library callers can pre-check with core.ResolveEngine.
+	Engine string
 }
 
 // Defaults returns cfg with unset fields replaced by the paper's
@@ -70,11 +91,18 @@ func (c Config) Defaults() Config {
 }
 
 // sweepConfig maps the experiment configuration onto the sweep engine.
+// Batches are always aligned to the batched engine's 64-shot words —
+// bit-parallel campaigns fill whole words, and every engine sees the
+// same chunking, so `-engine auto` and an explicit engine produce
+// identical output for the points they resolve alike. Alignment never
+// changes merged counts (the BatchRunner contract), only how the work
+// is chunked into the per-batch tail statistics.
 func (c Config) sweepConfig() sweep.Config {
 	return sweep.Config{
 		Shots:    c.Shots,
 		CI:       c.CI,
 		MaxShots: c.MaxShots,
+		Align:    64,
 		Workers:  c.Workers,
 		OnResult: c.OnPoint,
 	}
@@ -153,6 +181,10 @@ type prepared struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int // all-pairs distances of the topology
+	// frameExact records whether every campaign on this circuit is exact
+	// under the Pauli-frame engines, so EngineAuto may pick the batched
+	// engine (see frame.ExactFor).
+	frameExact bool
 }
 
 func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
@@ -160,7 +192,12 @@ func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &prepared{code: code, tr: tr, dist: topo.Graph.AllPairsShortestPaths()}, nil
+	return &prepared{
+		code:       code,
+		tr:         tr,
+		dist:       topo.Graph.AllPairsShortestPaths(),
+		frameExact: frame.ExactFor(tr.Circuit),
+	}, nil
 }
 
 // pointSpec is the sweep-point spec a figure emits: one injection
@@ -172,7 +209,23 @@ type pointSpec struct {
 	phys   float64
 	ev     *noise.RadiationEvent
 	decode func(bits []int) int // nil selects the code's MWPM decoder
-	seed   uint64
+	// decodeBatch is the word-parallel twin of decode for the batched
+	// engine; nil falls back to the code's DecodeBatch (when decode is
+	// nil) or a lane-unpacking adapter around decode.
+	decodeBatch frame.BatchDecodeFunc
+	seed        uint64
+}
+
+// engineFor resolves the configured engine for this spec through the
+// shared core.ResolveEngine policy. Unknown names panic, matching the
+// fail-fast validation of core.NewSimulator (the CLI validates before
+// this).
+func (s pointSpec) engineFor(engine string) string {
+	eng, err := core.ResolveEngine(engine, s.prep.frameExact)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return eng
 }
 
 // spec builds the spec measuring one radiation event at cfg's intrinsic
@@ -183,10 +236,13 @@ func (p *prepared) spec(key string, cfg Config, ev *noise.RadiationEvent, seed u
 
 // point lowers the spec onto the sweep engine. The campaign is built
 // once, on the sweep worker that owns the point, and reused across
-// every shot batch; batch b covering shots [s, s+n) consumes exactly
-// the streams split(seed, s..s+n-1), so batching never perturbs rates.
+// every shot batch; for the scalar engines batch b covering shots
+// [s, s+n) consumes exactly the streams split(seed, s..s+n-1), and the
+// batched engine maps shot i to lane i%64 of word i/64 with one stream
+// per word — either way batching and workers never perturb rates.
 // shotWorkers caps the campaign's internal shot parallelism.
-func (s pointSpec) point(shotWorkers int) sweep.Point {
+func (s pointSpec) point(engine string, shotWorkers int) sweep.Point {
+	eng := s.engineFor(engine)
 	return sweep.Point{
 		Key: s.key,
 		Prepare: func() sweep.BatchRunner {
@@ -194,15 +250,16 @@ func (s pointSpec) point(shotWorkers int) sweep.Point {
 			if decode == nil {
 				decode = s.prep.code.Decode
 			}
-			camp := &inject.Campaign{
-				Exec:     inject.NewExecutor(s.prep.tr.Circuit, noise.NewDepolarizing(s.phys), s.ev),
-				Decode:   decode,
-				Expected: s.prep.code.ExpectedLogical(),
-				Workers:  shotWorkers,
+			dec := s.decodeBatch
+			if dec == nil && s.decode == nil {
+				dec = s.prep.code.DecodeBatch
 			}
+			run := core.NewEngineRunner(eng, s.prep.tr.Circuit,
+				noise.NewDepolarizing(s.phys), s.ev, s.seed,
+				s.prep.code.ExpectedLogical(), decode, dec, shotWorkers)
 			return func(start, n int) sweep.Counts {
-				r := camp.RunFrom(s.seed, start, n)
-				return sweep.Counts{Shots: r.Shots, Errors: r.Errors}
+				shots, errors := run(start, n)
+				return sweep.Counts{Shots: shots, Errors: errors}
 			}
 		},
 	}
@@ -225,7 +282,7 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 	shotWorkers := (budget + len(specs) - 1) / len(specs)
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
-		points[i] = s.point(shotWorkers)
+		points[i] = s.point(cfg.Engine, shotWorkers)
 	}
 	return sweep.Run(cfg.sweepConfig(), points)
 }

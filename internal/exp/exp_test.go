@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"radqec/internal/arch"
+	"radqec/internal/frame"
 	"radqec/internal/inject"
 	"radqec/internal/noise"
 	"radqec/internal/qec"
@@ -161,7 +162,8 @@ func TestSampleUsedSubgraphsStayInUsedSet(t *testing.T) {
 
 // The fixed-vs-adaptive equivalence guarantee, half one: at fixed-shot
 // settings a sweep-backed rate equals the direct campaign run, because
-// batches partition the same seed-derived shot streams.
+// batches partition the same seed-derived shot streams (per-shot streams
+// for the scalar engines, per-word streams for the batched one).
 func TestFixedSweepMatchesDirectCampaign(t *testing.T) {
 	code, err := qec.NewRepetition(5)
 	if err != nil {
@@ -173,15 +175,85 @@ func TestFixedSweepMatchesDirectCampaign(t *testing.T) {
 	}
 	cfg := quickCfg.Defaults()
 	ev := p.strikeAt(Fig5Root, 1.0, true)
+
+	tabCfg := cfg
+	tabCfg.Engine = EngineTableau
 	camp := &inject.Campaign{
 		Exec:     inject.NewExecutor(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev),
 		Decode:   code.Decode,
 		Expected: code.ExpectedLogical(),
 	}
-	want := camp.Run(77, cfg.Shots).Rate()
-	if got := p.rate(cfg, ev, 77); got != want {
-		t.Fatalf("sweep rate %v != direct campaign rate %v", got, want)
+	if got, want := p.rate(tabCfg, ev, 77), camp.Run(77, cfg.Shots).Rate(); got != want {
+		t.Fatalf("tableau sweep rate %v != direct campaign rate %v", got, want)
 	}
+
+	batchCfg := cfg
+	batchCfg.Engine = EngineBatch
+	bcamp := &frame.BatchCampaign{
+		Sim:         frame.NewBatch(p.tr.Circuit, noise.NewDepolarizing(cfg.P), ev, 77),
+		DecodeBatch: code.DecodeBatch,
+		Expected:    code.ExpectedLogical(),
+	}
+	if got, want := p.rate(batchCfg, ev, 77), bcamp.Run(77, cfg.Shots).Rate(); got != want {
+		t.Fatalf("batched sweep rate %v != direct batched campaign rate %v", got, want)
+	}
+}
+
+// EngineAuto must route frame-exact circuits (the repetition family) to
+// the batched engine and superposed ones (XXZZ) to the tableau; the two
+// engines must agree statistically on the frame-exact campaign.
+func TestEngineAutoSelection(t *testing.T) {
+	rep, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRep, err := prepare(rep, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pRep.frameExact {
+		t.Fatal("repetition circuit not detected frame-exact")
+	}
+	xxzz, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pXX, err := prepare(xxzz, arch.Mesh(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pXX.frameExact {
+		t.Fatal("XXZZ circuit wrongly detected frame-exact")
+	}
+	if got := pRep.spec("", quickCfg, nil, 1).engineFor(EngineAuto); got != EngineBatch {
+		t.Fatalf("auto picked %q for repetition", got)
+	}
+	if got := pXX.spec("", quickCfg, nil, 1).engineFor(""); got != EngineTableau {
+		t.Fatalf("auto picked %q for XXZZ", got)
+	}
+
+	// Cross-engine agreement on a frame-exact campaign: the batched rate
+	// must land inside the tableau campaign's Wilson interval.
+	cfg := quickCfg.Defaults()
+	cfg.Shots = 3000
+	ev := pRep.strikeAt(Fig5Root, 1.0, true)
+	tabCfg := cfg
+	tabCfg.Engine = EngineTableau
+	batchCfg := cfg
+	batchCfg.Engine = EngineBatch
+	tab := p0RateCounts(t, tabCfg, pRep, ev, 5)
+	lo, hi := stats.WilsonCI(tab.Errors, tab.Shots)
+	batch := p0RateCounts(t, batchCfg, pRep, ev, 5)
+	if r := batch.Rate(); r < lo || r > hi {
+		t.Fatalf("batched rate %v outside tableau Wilson interval [%v, %v]", r, lo, hi)
+	}
+}
+
+// p0RateCounts runs a single-point sweep and returns its counts.
+func p0RateCounts(t *testing.T, cfg Config, p *prepared, ev *noise.RadiationEvent, seed uint64) sweep.Counts {
+	t.Helper()
+	res := runSpecs(cfg, []pointSpec{p.spec("", cfg, ev, seed)})
+	return res[0].Counts
 }
 
 // The satellite determinism regression at the experiment level: the

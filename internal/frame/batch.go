@@ -1,0 +1,324 @@
+package frame
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"radqec/internal/circuit"
+	"radqec/internal/noise"
+	"radqec/internal/rng"
+)
+
+// BatchSimulator is the bit-parallel variant of the frame engine: one
+// uint64 word carries the same frame bit across 64 shots ("lanes"), so
+// every Clifford gate is a handful of branchless word operations and a
+// whole word of shots costs barely more than one scalar shot. The
+// validity domain is identical to the scalar Simulator (the two share
+// the reference trajectory); only the sampling layout differs:
+//
+//   - Frame state is stored shot-major as bit-planes x[qubit], z[qubit],
+//     each word holding the frame bit of 64 concurrent shots.
+//   - Depolarizing noise is sampled by geometric skip-sampling over the
+//     flattened (site, lane) bit-stream: the RNG is consulted once per
+//     error (plus once per shot-word), not once per op-qubit-lane, so
+//     small physical error rates cost almost nothing.
+//   - Radiation faults are sampled as Bernoulli bit-words
+//     (rng.Bernoulli64), ~8 draws per struck op-qubit for all 64 lanes.
+//   - Measurement records are emitted as bit-packed words (one uint64
+//     per classical bit), ready for word-parallel decoding
+//     (qec.(*Code).DecodeBatch).
+type BatchSimulator struct {
+	sim *Simulator
+	// siteBase[i] is the base index of op i's noise sites in the
+	// flattened per-shot noise-site stream (barriers contribute none).
+	siteBase []int
+	numSites int
+	// depInvLog caches 1/ln(1-P) for geometric skip-sampling.
+	depInvLog float64
+}
+
+// NewBatchSimulator wraps a scalar frame simulator for bit-parallel
+// sampling. The two engines share the recorded reference trajectory, so
+// building the batch view costs O(ops) and no tableau work.
+func NewBatchSimulator(sim *Simulator) *BatchSimulator {
+	b := &BatchSimulator{
+		sim:      sim,
+		siteBase: make([]int, len(sim.circ.Ops)),
+	}
+	n := 0
+	for i, op := range sim.circ.Ops {
+		b.siteBase[i] = n
+		if op.Kind != circuit.KindBarrier {
+			n += len(op.Qubits)
+		}
+	}
+	b.numSites = n
+	if p := sim.dep.P; p > 0 && p < 1 {
+		b.depInvLog = 1 / math.Log1p(-p)
+	}
+	return b
+}
+
+// NewBatch builds the batched engine directly from a circuit; it is
+// NewBatchSimulator(New(...)).
+func NewBatch(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.RadiationEvent, refSeed uint64) *BatchSimulator {
+	return NewBatchSimulator(New(circ, dep, rad, refSeed))
+}
+
+// BatchState is the reusable 64-lane frame and record state of one shot
+// word.
+type BatchState struct {
+	x, z []uint64 // frame bit-planes, one word of 64 lanes per qubit
+	// Rec is the packed classical record: Rec[c] holds classical bit c
+	// of all 64 lanes.
+	Rec []uint64
+}
+
+// NewBatchState allocates lane state for the simulator's circuit.
+func (s *BatchSimulator) NewBatchState() *BatchState {
+	n := s.sim.circ.NumQubits
+	if n == 0 {
+		n = 1
+	}
+	return &BatchState{
+		x:   make([]uint64, n),
+		z:   make([]uint64, n),
+		Rec: make([]uint64, s.sim.circ.NumClbits),
+	}
+}
+
+// Clear zeroes the state for reuse.
+func (st *BatchState) Clear() {
+	for i := range st.x {
+		st.x[i] = 0
+		st.z[i] = 0
+	}
+	for i := range st.Rec {
+		st.Rec[i] = 0
+	}
+}
+
+// RunWord executes one word of 64 shots into st (cleared first). Every
+// lane owns statistically independent noise; all randomness is drawn
+// from src, so identical sources reproduce identical words.
+func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
+	st.Clear()
+	sim := s.sim
+	x, z := st.x, st.z
+	// nextErr is the absolute position of the next depolarizing error in
+	// the flattened (site, lane) bit-stream of numSites*64 positions.
+	p := sim.dep.P
+	var nextErr int64 = 1 << 62
+	switch {
+	case p >= 1:
+		nextErr = 0
+	case p > 0:
+		nextErr = noise.GeometricSkip(src, s.depInvLog)
+	}
+	for i, op := range sim.circ.Ops {
+		switch op.Kind {
+		case circuit.KindH:
+			q := op.Qubits[0]
+			x[q], z[q] = z[q], x[q]
+		case circuit.KindS:
+			// S: X -> Y (adds a Z component); Z unchanged.
+			q := op.Qubits[0]
+			z[q] ^= x[q]
+		case circuit.KindX, circuit.KindY, circuit.KindZ:
+			// Deterministic circuit Paulis are part of the reference.
+		case circuit.KindCNOT:
+			c, t := op.Qubits[0], op.Qubits[1]
+			x[t] ^= x[c]
+			z[c] ^= z[t]
+		case circuit.KindCZ:
+			a, b := op.Qubits[0], op.Qubits[1]
+			z[b] ^= x[a]
+			z[a] ^= x[b]
+		case circuit.KindSWAP:
+			a, b := op.Qubits[0], op.Qubits[1]
+			x[a], x[b] = x[b], x[a]
+			z[a], z[b] = z[b], z[a]
+		case circuit.KindMeasure:
+			q := op.Qubits[0]
+			ref := uint64(0)
+			if sim.ref[sim.measIndex[i]] == 1 {
+				ref = ^uint64(0)
+			}
+			st.Rec[op.Clbit] = ref ^ x[q]
+			// Measurement collapses the deviation's phase information.
+			z[q] = 0
+			if sim.DecohereMeasurements {
+				z[q] = src.Uint64() // 50% Z frame per lane
+			}
+		case circuit.KindReset:
+			q := op.Qubits[0]
+			x[q] = 0
+			z[q] = 0
+		case circuit.KindBarrier:
+			continue
+		}
+		// Intrinsic depolarizing noise: consume the error positions that
+		// fall inside this op's slice of the flattened site stream. The
+		// geometric gaps make error positions iid Bernoulli(P) over every
+		// (site, lane) bit, and the uniform 3-way type draw completes the
+		// X/Y/Z at P/3 channel of the scalar engines.
+		if p > 0 {
+			base := int64(s.siteBase[i]) << 6
+			end := base + int64(len(op.Qubits))<<6
+			for nextErr < end {
+				lane := uint(nextErr & 63)
+				q := op.Qubits[int(nextErr>>6)-s.siteBase[i]]
+				switch src.Intn(3) {
+				case 0: // X
+					x[q] ^= 1 << lane
+				case 1: // Y
+					x[q] ^= 1 << lane
+					z[q] ^= 1 << lane
+				default: // Z
+					z[q] ^= 1 << lane
+				}
+				if p >= 1 {
+					nextErr++
+				} else {
+					nextErr += 1 + noise.GeometricSkip(src, s.depInvLog)
+				}
+			}
+		}
+		// Radiation reset faults, word-wide: the frame on fired lanes is
+		// erased and its X bit set from the recorded reference Z-value
+		// (see the scalar Run for the physics).
+		if sim.refZ[i] != nil {
+			for j, q := range op.Qubits {
+				pq := sim.rad.Probs[q]
+				if pq <= 0 {
+					continue
+				}
+				fire := src.Bernoulli64(pq)
+				if fire == 0 {
+					continue
+				}
+				x[q] &^= fire
+				z[q] &^= fire
+				switch sim.refZ[i][j] {
+				case -1: // reference holds |1>, actual pinned to |0>
+					x[q] |= fire
+				case 0: // superposed reference: coin-flip deviation
+					x[q] |= fire & src.Uint64()
+				}
+			}
+		}
+	}
+}
+
+// BatchDecodeFunc maps one word of packed classical records to the word
+// of decoded logical values. Only lanes set in live carry meaningful
+// records; a decoder may leave dead lanes arbitrary.
+type BatchDecodeFunc func(rec []uint64, live uint64) uint64
+
+// LaneDecode lifts a scalar record decoder onto packed records by
+// unpacking each live lane. It is the compatibility path for decoders
+// without a word-parallel implementation; the frame propagation is still
+// bit-parallel, only the decode runs per lane.
+func LaneDecode(decode func(bits []int) int, numClbits int) BatchDecodeFunc {
+	return func(rec []uint64, live uint64) uint64 {
+		scratch := make([]int, numClbits)
+		var out uint64
+		for m := live; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m))
+			for i := range scratch {
+				scratch[i] = int(rec[i]>>lane) & 1
+			}
+			out |= uint64(decode(scratch)&1) << lane
+		}
+		return out
+	}
+}
+
+// batchSplitSalt decorrelates the batched engine's word streams from the
+// scalar engines' per-shot streams derived from the same campaign seed.
+const batchSplitSalt = 0xb5ad4eceda1ce2a9
+
+// BatchCampaign estimates logical error rates with the bit-parallel
+// engine. It honours the sweep.BatchRunner determinism contract at word
+// granularity: shot i always lives in lane i%64 of word i/64, and word w
+// always consumes the stream split(seed, salt^w), so results are
+// invariant under worker count and batch boundaries (word-straddling
+// batches re-run the word with disjoint live masks and merge exactly).
+// The engine defines its own seed-to-stream mapping: rates are
+// statistically equivalent to, but not bit-identical with, the scalar
+// engines at the same seed.
+type BatchCampaign struct {
+	// Sim samples the shot words.
+	Sim *BatchSimulator
+	// DecodeBatch maps packed records to decoded logical values, e.g.
+	// qec.(*Code).DecodeBatch or a LaneDecode adapter.
+	DecodeBatch BatchDecodeFunc
+	// Expected is the fault-free decoded output.
+	Expected int
+	// Workers caps parallel word runners; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes shots shots deterministically (see RunFrom).
+func (c *BatchCampaign) Run(seed uint64, shots int) Result {
+	return c.RunFrom(seed, 0, shots)
+}
+
+// RunFrom executes the shot range [start, start+shots). Partitioning a
+// campaign into ranges — word-aligned or not — merges to exactly the
+// result of one Run over the whole range.
+func (c *BatchCampaign) RunFrom(seed uint64, start, shots int) Result {
+	if shots <= 0 {
+		return Result{}
+	}
+	firstWord := start >> 6
+	lastWord := (start + shots - 1) >> 6
+	words := lastWord - firstWord + 1
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > words {
+		workers = words
+	}
+	expected := uint64(0)
+	if c.Expected&1 == 1 {
+		expected = ^uint64(0)
+	}
+	master := rng.New(seed)
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := c.Sim.NewBatchState()
+			local := Result{}
+			for word := firstWord + w; word <= lastWord; word += workers {
+				live := ^uint64(0)
+				if word == firstWord {
+					live &= ^uint64(0) << uint(start&63)
+				}
+				if word == lastWord {
+					endLane := uint((start + shots - 1) & 63)
+					live &= ^uint64(0) >> (63 - endLane)
+				}
+				src := master.Split(batchSplitSalt ^ uint64(word))
+				c.Sim.RunWord(src, st)
+				decoded := c.DecodeBatch(st.Rec, live)
+				local.Shots += bits.OnesCount64(live)
+				local.Errors += bits.OnesCount64((decoded ^ expected) & live)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := Result{}
+	for _, r := range results {
+		total.Shots += r.Shots
+		total.Errors += r.Errors
+	}
+	return total
+}

@@ -1,0 +1,289 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"radqec/internal/arch"
+	"radqec/internal/circuit"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+	"radqec/internal/stats"
+)
+
+// repCampaigns builds the scalar and batched frame campaigns of the same
+// repetition-code radiation setup (frame-exact, so both are exact).
+func repCampaigns(t testing.TB, d int, p float64, refSeed uint64) (*Campaign, *BatchCampaign) {
+	t.Helper()
+	code, err := qec.NewRepetition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := (2*d + 4) / 5
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	ev := noise.NewRadiationEvent(dist[2], 1.0, true)
+	sim := New(tr.Circuit, noise.NewDepolarizing(p), ev, refSeed)
+	scalar := &Campaign{
+		Sim:      sim,
+		Decode:   code.Decode,
+		Expected: code.ExpectedLogical(),
+	}
+	batched := &BatchCampaign{
+		Sim:         NewBatchSimulator(sim),
+		DecodeBatch: code.DecodeBatch,
+		Expected:    code.ExpectedLogical(),
+	}
+	return scalar, batched
+}
+
+func TestBatchDeterministicCircuitExact(t *testing.T) {
+	// A purely classical circuit: every lane of the batched record must
+	// equal the scalar frame outcome bit for bit.
+	c := circuit.New(3, 3)
+	c.X(0)
+	c.CNOT(0, 1)
+	c.X(2)
+	c.Measure(0, 0)
+	c.Measure(1, 1)
+	c.Measure(2, 2)
+	sim := New(c, noise.Depolarizing{}, nil, 1)
+	f := NewFrame(3)
+	bits := make([]int, 3)
+	sim.Run(rng.New(2), f, bits)
+	b := NewBatchSimulator(sim)
+	st := b.NewBatchState()
+	b.RunWord(rng.New(2), st)
+	for i, want := range bits {
+		word := uint64(0)
+		if want == 1 {
+			word = ^uint64(0)
+		}
+		if st.Rec[i] != word {
+			t.Fatalf("clbit %d: packed %x, scalar bit %d", i, st.Rec[i], want)
+		}
+	}
+}
+
+func TestBatchRunWordDeterministic(t *testing.T) {
+	_, batched := repCampaigns(t, 5, 0.01, 3)
+	a := batched.Sim.NewBatchState()
+	b := batched.Sim.NewBatchState()
+	batched.Sim.RunWord(rng.New(9), a)
+	batched.Sim.RunWord(rng.New(9), b)
+	for i := range a.Rec {
+		if a.Rec[i] != b.Rec[i] {
+			t.Fatalf("identical sources diverged at clbit %d", i)
+		}
+	}
+}
+
+func TestBatchMatchesScalarWithinWilson(t *testing.T) {
+	// Radiation + depolarizing on the repetition code (frame-exact):
+	// the batched rate must land inside the scalar campaign's Wilson
+	// interval at a matched shot budget.
+	scalar, batched := repCampaigns(t, 15, 0.01, 3)
+	const shots = 4096
+	s := scalar.Run(5, shots)
+	b := batched.Run(6, shots)
+	lo, hi := stats.WilsonCI(s.Errors, s.Shots)
+	if r := b.Rate(); r < lo || r > hi {
+		t.Fatalf("batched rate %.4f outside scalar Wilson interval [%.4f, %.4f]", r, lo, hi)
+	}
+	if b.Errors == 0 {
+		t.Fatal("batched engine saw no errors under a full-impact strike")
+	}
+}
+
+func TestBatchDepolarizingOnlyMatchesScalar(t *testing.T) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.05
+	sim := New(code.Circ, noise.NewDepolarizing(p), nil, 7)
+	scalar := &Campaign{Sim: sim, Decode: code.Decode, Expected: 1}
+	batched := &BatchCampaign{
+		Sim:         NewBatchSimulator(sim),
+		DecodeBatch: code.DecodeBatch,
+		Expected:    1,
+	}
+	const shots = 6000
+	s := scalar.Run(11, shots)
+	b := batched.Run(13, shots)
+	if math.Abs(s.Rate()-b.Rate()) > 0.025 {
+		t.Fatalf("engines disagree: scalar %.4f vs batched %.4f", s.Rate(), b.Rate())
+	}
+	if b.Errors == 0 {
+		t.Fatal("batched engine saw no errors at p=0.05")
+	}
+}
+
+func TestBatchCleanRunErrorFree(t *testing.T) {
+	for _, mk := range []func() (*qec.Code, error){
+		func() (*qec.Code, error) { return qec.NewRepetition(7) },
+		func() (*qec.Code, error) { return qec.NewXXZZ(3, 3) },
+	} {
+		code, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp := &BatchCampaign{
+			Sim:         NewBatch(code.Circ, noise.Depolarizing{}, nil, 9),
+			DecodeBatch: code.DecodeBatch,
+			Expected:    1,
+		}
+		if r := camp.Run(1, 500); r.Errors != 0 || r.Shots != 500 {
+			t.Fatalf("%s: clean batched campaign produced %+v", code.Name, r)
+		}
+	}
+}
+
+func TestBatchWordBoundaries(t *testing.T) {
+	// Shot counts not divisible by 64 must count exactly, and any
+	// partition of the range — word-aligned or not — must merge to the
+	// whole-run result.
+	_, batched := repCampaigns(t, 5, 0.02, 2)
+	for _, shots := range []int{1, 63, 64, 65, 100, 1000} {
+		if r := batched.Run(44, shots); r.Shots != shots {
+			t.Fatalf("Run counted %d shots, want %d", r.Shots, shots)
+		}
+	}
+	whole := batched.Run(44, 1000)
+	var merged Result
+	for _, r := range [][2]int{{0, 100}, {100, 1}, {101, 27}, {128, 400}, {528, 472}} {
+		part := batched.RunFrom(44, r[0], r[1])
+		merged.Shots += part.Shots
+		merged.Errors += part.Errors
+	}
+	if merged != whole {
+		t.Fatalf("partitioned runs %+v != whole run %+v", merged, whole)
+	}
+}
+
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) Result {
+		_, batched := repCampaigns(t, 5, 0.05, 2)
+		batched.Workers = workers
+		return batched.Run(44, 1500)
+	}
+	if a, b := mk(1), mk(8); a != b {
+		t.Fatalf("worker counts disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestLaneDecodeMatchesWordDecoder(t *testing.T) {
+	// The generic lane-unpacking adapter and the word-parallel decoder
+	// must agree on every lane of real sampled records.
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewBatch(code.Circ, noise.NewDepolarizing(0.1), nil, 3)
+	st := sim.NewBatchState()
+	lane := LaneDecode(code.Decode, code.Circ.NumClbits)
+	for seed := uint64(0); seed < 8; seed++ {
+		sim.RunWord(rng.New(seed), st)
+		live := ^uint64(0)
+		if got, want := code.DecodeBatch(st.Rec, live), lane(st.Rec, live); got != want {
+			t.Fatalf("seed %d: DecodeBatch %x != LaneDecode %x", seed, got, want)
+		}
+	}
+}
+
+func TestBatchExpectedZero(t *testing.T) {
+	// Expected=0 campaigns (e.g. custom decoders) must count errors
+	// against the zero word.
+	c := circuit.New(1, 1)
+	c.X(0)
+	c.Measure(0, 0)
+	camp := &BatchCampaign{
+		Sim:         NewBatch(c, noise.Depolarizing{}, nil, 1),
+		DecodeBatch: func(rec []uint64, live uint64) uint64 { return rec[0] },
+		Expected:    0,
+	}
+	if r := camp.Run(1, 130); r.Errors != 130 {
+		t.Fatalf("X|0> vs expected 0: %+v", r)
+	}
+	camp.Expected = 1
+	if r := camp.Run(1, 130); r.Errors != 0 {
+		t.Fatalf("X|0> vs expected 1: %+v", r)
+	}
+}
+
+// The acceptance benchmark pair: Fig. 5 repetition-code sampling
+// throughput, scalar frame engine versus the batched engine, decode
+// included. The low-p regime is where campaigns spend their lives and
+// where the sparse-syndrome fast path pays; shots/s is the headline
+// metric.
+func benchFig5Rep(b *testing.B, batched bool) {
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	// Temporal sample 3 of the Fig. 5 evolution at p=1e-3.
+	ev := noise.NewRadiationEvent(dist[2], noise.TemporalStep(0.3, 10), true)
+	sim := New(tr.Circuit, noise.NewDepolarizing(1e-3), ev, 1)
+	const shots = 4096
+	b.ResetTimer()
+	if batched {
+		camp := &BatchCampaign{
+			Sim:         NewBatchSimulator(sim),
+			DecodeBatch: code.DecodeBatch,
+			Expected:    1,
+			Workers:     1,
+		}
+		for i := 0; i < b.N; i++ {
+			camp.Run(uint64(i), shots)
+		}
+	} else {
+		camp := &Campaign{
+			Sim:      sim,
+			Decode:   code.Decode,
+			Expected: 1,
+			Workers:  1,
+		}
+		for i := 0; i < b.N; i++ {
+			camp.Run(uint64(i), shots)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkFig5RepFrameScalar(b *testing.B)  { benchFig5Rep(b, false) }
+func BenchmarkFig5RepFrameBatched(b *testing.B) { benchFig5Rep(b, true) }
+
+// The same pair at the paper's default p=1e-2 under a full-impact
+// strike — the regime where the decoder slow path fires often — keeps
+// the speedup claim honest outside the sparse regime.
+func benchImpactRep(b *testing.B, batched bool) {
+	scalar, bat := repCampaigns(b, 15, 0.01, 1)
+	const shots = 2048
+	scalar.Workers = 1
+	bat.Workers = 1
+	b.ResetTimer()
+	if batched {
+		for i := 0; i < b.N; i++ {
+			bat.Run(uint64(i), shots)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			scalar.Run(uint64(i), shots)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkImpactRep15FrameScalar(b *testing.B)  { benchImpactRep(b, false) }
+func BenchmarkImpactRep15FrameBatched(b *testing.B) { benchImpactRep(b, true) }

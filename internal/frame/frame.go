@@ -47,6 +47,9 @@ type Simulator struct {
 	circ *circuit.Circuit
 	dep  noise.Depolarizing
 	rad  *noise.RadiationEvent
+	// samp is the immutable skip-sampling template for the depolarizing
+	// channel; each shot copies and reseeds it.
+	samp noise.SkipSampler
 	// ref[k] is the reference outcome of the k-th measurement op.
 	ref []int
 	// measIndex[i] maps op index to measurement index (-1 otherwise).
@@ -76,6 +79,7 @@ func New(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.RadiationEven
 		circ:      circ,
 		dep:       dep,
 		rad:       rad,
+		samp:      dep.Skip(),
 		measIndex: make([]int, len(circ.Ops)),
 		refZ:      make([][]int, len(circ.Ops)),
 	}
@@ -118,6 +122,25 @@ func New(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.RadiationEven
 		}
 	}
 	return s
+}
+
+// ExactFor reports whether the frame engines reproduce the tableau
+// engine's statistics exactly for ANY fault configuration on the
+// circuit: without H or S gates a circuit starting from |0...0> never
+// leaves the computational basis, so every measurement is deterministic
+// and every radiation reset site is a Z eigenstate (see the validity
+// domain in the package comment). The whole repetition-code family
+// qualifies on every topology; XXZZ circuits do not (their plaquettes
+// need H). Depolarizing-only campaigns are exact regardless — this
+// predicate is the conservative test that also covers radiation.
+func ExactFor(c *circuit.Circuit) bool {
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case circuit.KindH, circuit.KindS:
+			return false
+		}
+	}
+	return true
 }
 
 // mayFire reports whether the radiation event can strike any qubit of
@@ -184,6 +207,8 @@ func (f *Frame) swapXZ(q int) {
 // cleared first, so frames can be reused across shots.
 func (s *Simulator) Run(src *rng.Source, f *Frame, bits []int) {
 	f.Clear()
+	samp := s.samp
+	samp.Reset(src)
 	for i, op := range s.circ.Ops {
 		switch op.Kind {
 		case circuit.KindH:
@@ -243,7 +268,7 @@ func (s *Simulator) Run(src *rng.Source, f *Frame, bits []int) {
 		// Intrinsic depolarizing noise toggles frame bits.
 		if s.dep.P > 0 {
 			for _, q := range op.Qubits {
-				switch s.dep.Sample(src) {
+				switch samp.Sample(src) {
 				case noise.ErrX:
 					f.flipX(q)
 				case noise.ErrY:

@@ -22,6 +22,9 @@ type Executor struct {
 	circ *circuit.Circuit
 	dep  noise.Depolarizing
 	rad  *noise.RadiationEvent
+	// samp is the immutable skip-sampling template for the depolarizing
+	// channel; each shot copies and reseeds it.
+	samp noise.SkipSampler
 }
 
 // NewExecutor builds a shot executor. rad may be nil for noise-only runs.
@@ -33,15 +36,17 @@ func NewExecutor(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.Radia
 		panic(fmt.Sprintf("inject: radiation table covers %d qubits, circuit has %d",
 			len(rad.Probs), circ.NumQubits))
 	}
-	return &Executor{circ: circ, dep: dep, rad: rad}
+	return &Executor{circ: circ, dep: dep, rad: rad, samp: dep.Skip()}
 }
 
 // Run executes one shot and returns the classical measurement record.
-// The caller owns src; identical sources reproduce identical shots.
+// The caller owns src; identical sources reproduce identical shots. The
+// record comes from the shared buffer pool: callers looping over shots
+// should recycle it with ReleaseBits once consumed (or use RunInto).
 func (e *Executor) Run(src *rng.Source) []int {
 	tab := newPooledTableau(e.circ.NumQubits)
 	defer releaseTableau(tab)
-	bits := make([]int, e.circ.NumClbits)
+	bits := GetBits(e.circ.NumClbits)
 	e.RunInto(src, tab, bits)
 	return bits
 }
@@ -49,6 +54,11 @@ func (e *Executor) Run(src *rng.Source) []int {
 // RunInto is Run with caller-provided state, for allocation-free loops.
 // tab must be freshly reset to |0...0>; bits must have NumClbits slots.
 func (e *Executor) RunInto(src *rng.Source, tab tableau, bits []int) {
+	// Depolarizing errors are drawn by geometric skip-sampling: for small
+	// P the sampler touches the RNG once per error instead of once per
+	// op-qubit, while sampling the exact same error distribution.
+	samp := e.samp
+	samp.Reset(src)
 	for _, op := range e.circ.Ops {
 		switch op.Kind {
 		case circuit.KindH:
@@ -78,7 +88,7 @@ func (e *Executor) RunInto(src *rng.Source, tab tableau, bits []int) {
 		// involved qubit (E2 = E⊗E after two-qubit gates, Section III-A).
 		if e.dep.P > 0 {
 			for _, q := range op.Qubits {
-				switch e.dep.Sample(src) {
+				switch samp.Sample(src) {
 				case noise.ErrX:
 					tab.X(q)
 				case noise.ErrY:

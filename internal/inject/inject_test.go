@@ -222,3 +222,34 @@ func TestPooledTableauReuse(t *testing.T) {
 	}
 	releaseTableau(t2)
 }
+
+func TestBitsPoolRecycles(t *testing.T) {
+	a := GetBits(9)
+	for i := range a {
+		a[i] = 1
+	}
+	ReleaseBits(a)
+	b := GetBits(9)
+	// The pool must hand back zeroed buffers whatever their history.
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("bit %d = %d, want 0", i, v)
+		}
+	}
+	ReleaseBits(b)
+}
+
+func TestExecutorRunUsesPooledBits(t *testing.T) {
+	// Run's record must stay correct when recycled across shots.
+	c := circuit.New(1, 1)
+	c.X(0)
+	c.Measure(0, 0)
+	ex := NewExecutor(c, noise.Depolarizing{}, nil)
+	for seed := uint64(0); seed < 50; seed++ {
+		bits := ex.Run(rng.New(seed))
+		if bits[0] != 1 {
+			t.Fatalf("seed %d: measured %d", seed, bits[0])
+		}
+		ReleaseBits(bits)
+	}
+}

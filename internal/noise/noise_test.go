@@ -290,3 +290,99 @@ func TestMaxProb(t *testing.T) {
 		t.Fatalf("MaxProb = %v", ev.MaxProb())
 	}
 }
+
+// --- Geometric skip-sampling (satellite: distribution unchanged) ---
+
+// TestSkipSamplerMatchesDirectDistribution is the satellite proof that
+// geometric skip-sampling leaves the depolarizing error distribution
+// unchanged: per-site error probability P with each Pauli at P/3,
+// matched against the direct per-site sampler within 5-sigma binomial
+// tolerance, at rates on both sides of the direct-mode threshold.
+func TestSkipSamplerMatchesDirectDistribution(t *testing.T) {
+	for _, p := range []float64{0.003, 0.02, 0.3} {
+		const sites = 400000
+		direct := map[PauliError]int{}
+		skip := map[PauliError]int{}
+		d := NewDepolarizing(p)
+		srcA := rng.New(5)
+		for i := 0; i < sites; i++ {
+			direct[d.Sample(srcA)]++
+		}
+		samp := d.Skip()
+		srcB := rng.New(6)
+		// Shots of 1000 sites each: Reset per shot, like the executors.
+		for shot := 0; shot < sites/1000; shot++ {
+			samp.Reset(srcB)
+			for i := 0; i < 1000; i++ {
+				skip[samp.Sample(srcB)]++
+			}
+		}
+		for _, e := range []PauliError{ErrX, ErrY, ErrZ} {
+			want := p / 3
+			tol := 5 * math.Sqrt(want*(1-want)/sites)
+			for name, counts := range map[string]map[PauliError]int{"direct": direct, "skip": skip} {
+				if rate := float64(counts[e]) / sites; math.Abs(rate-want) > tol {
+					t.Fatalf("p=%v %s: P(%v) = %v, want %v +- %v", p, name, e, rate, want, tol)
+				}
+			}
+		}
+	}
+}
+
+// The gap between consecutive errors must follow the geometric
+// distribution with mean (1-p)/p, same as independent per-site draws.
+func TestSkipSamplerGapDistribution(t *testing.T) {
+	const p = 0.05
+	d := NewDepolarizing(p)
+	samp := d.Skip()
+	src := rng.New(11)
+	samp.Reset(src)
+	gap, gaps, sum := 0, 0, 0.0
+	const draws = 400000
+	for i := 0; i < draws; i++ {
+		if samp.Sample(src) == ErrNone {
+			gap++
+			continue
+		}
+		sum += float64(gap)
+		gaps++
+		gap = 0
+	}
+	if gaps == 0 {
+		t.Fatal("no errors sampled")
+	}
+	mean := sum / float64(gaps)
+	want := (1 - p) / p
+	// The geometric gap's std is sqrt(1-p)/p; 5 sigma of the mean.
+	tol := 5 * math.Sqrt(1-p) / p / math.Sqrt(float64(gaps))
+	if math.Abs(mean-want) > tol {
+		t.Fatalf("mean gap %v, want %v +- %v", mean, want, tol)
+	}
+}
+
+func TestSkipSamplerDegenerateRates(t *testing.T) {
+	zero := NewDepolarizing(0).Skip()
+	src := rng.New(3)
+	zero.Reset(src)
+	for i := 0; i < 1000; i++ {
+		if zero.Sample(src) != ErrNone {
+			t.Fatal("p=0 sampler produced an error")
+		}
+	}
+	one := NewDepolarizing(1).Skip()
+	one.Reset(src)
+	for i := 0; i < 1000; i++ {
+		if one.Sample(src) == ErrNone {
+			t.Fatal("p=1 sampler produced no error")
+		}
+	}
+}
+
+func TestGeometricSkipClampsDegenerate(t *testing.T) {
+	// A vanishing rate yields an astronomically large but finite skip.
+	src := rng.New(9)
+	invLog := 1 / math.Log1p(-1e-300)
+	if got := GeometricSkip(src, invLog); got != 1<<62 {
+		t.Fatalf("skip = %d, want clamp", got)
+	}
+}

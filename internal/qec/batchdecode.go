@@ -1,0 +1,137 @@
+package qec
+
+import (
+	mathbits "math/bits"
+)
+
+// batchCacheCap bounds the per-code syndrome memo so adversarial
+// workloads (huge codes under saturating faults) cannot grow it without
+// bound; beyond the cap lanes fall back to matching directly.
+const batchCacheCap = 1 << 16
+
+// DecodeBatch is the word-parallel counterpart of Decode: rec is a
+// bit-packed classical record where rec[c] holds classical bit c of 64
+// concurrent shots ("lanes"), and the result word holds the decoded
+// logical value of each lane. Only lanes set in live are decoded; dead
+// lanes of the result carry the uncorrected logical parity.
+//
+// Three tiers keep the decoder off the hot path:
+//
+//  1. Detection events are extracted word-parallel — one XOR chain per
+//     Z stabilizer over the packed syndrome rounds plus the recomputed
+//     final syndrome — and lanes whose space-time syndrome is entirely
+//     zero exit early: with no defects MWPM matches nothing and the
+//     decoded value is the uncorrected data-readout parity, already
+//     computed for all 64 lanes with a handful of XORs.
+//  2. Triggered lanes exploit that the correction only enters the
+//     logical value through the parity of the matched flip set on the
+//     logical support, a pure function of the defect pattern. When the
+//     pattern fits in 64 bits (every 2-round repetition code) the
+//     blossom result is memoised per syndrome in a lock-free map, so
+//     repeated syndromes — the norm under a localised strike — cost a
+//     lookup instead of a matching.
+//  3. Only novel syndromes run the scalar blossom matcher, reusing the
+//     already-extracted defect words instead of re-deriving events from
+//     scalar bits.
+//
+// Lane l of the result always equals Decode of lane l's unpacked record
+// (the memo stores Decode's own matching, so even tie-broken matchings
+// agree bit for bit).
+func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
+	layers := len(c.CRounds) + 1
+	nz := len(c.zStabData)
+	// Uncorrected logical parity of every lane: the fast-path answer.
+	var logical uint64
+	for _, d := range c.logicalZ {
+		logical ^= rec[c.DataRead.Start+d]
+	}
+	if nz == 0 {
+		return logical
+	}
+	// Word-parallel detection events: defectWords[s*layers+r] holds the
+	// layer-r detection bit of stabilizer s for all 64 lanes, mirroring
+	// detectionEvents exactly (round 0 vs all-zero, consecutive-round
+	// differences, last round vs the data-readout syndrome).
+	defectWords := make([]uint64, nz*layers)
+	var any uint64
+	for s, datas := range c.zStabData {
+		prev := uint64(0)
+		for r, creg := range c.CRounds {
+			cur := rec[creg.Start+s]
+			d := prev ^ cur
+			defectWords[s*layers+r] = d
+			any |= d
+			prev = cur
+		}
+		final := uint64(0)
+		for _, dq := range datas {
+			final ^= rec[c.DataRead.Start+dq]
+		}
+		d := prev ^ final
+		defectWords[s*layers+layers-1] = d
+		any |= d
+	}
+	slow := any & live
+	if slow == 0 {
+		return logical
+	}
+	cacheable := nz*layers <= 64
+	var defects []defect
+	for m := slow; m != 0; m &= m - 1 {
+		lane := uint(mathbits.TrailingZeros64(m))
+		mask := uint64(1) << lane
+		var key uint64
+		if cacheable {
+			for i, w := range defectWords {
+				key |= ((w >> lane) & 1) << uint(i)
+			}
+			if v, ok := c.batchMemo.Load(key); ok {
+				logical ^= v.(uint64) << lane
+				continue
+			}
+		}
+		// Defects in detectionEvents order (stabilizer-major, layer
+		// minor) so the matching — and therefore the decoded value — is
+		// bit-identical to Decode on the unpacked record.
+		defects = defects[:0]
+		for s := 0; s < nz; s++ {
+			for r := 0; r < layers; r++ {
+				if defectWords[s*layers+r]&mask != 0 {
+					defects = append(defects, defect{s, r})
+				}
+			}
+		}
+		flips := c.matchDefects(defects)
+		var flipParity uint64
+		for _, d := range c.logicalZ {
+			if flips[d] {
+				flipParity ^= 1
+			}
+		}
+		// Reserve a slot before inserting so the map can never exceed
+		// the cap even when workers race past it; the reservation is
+		// released when it loses (cap hit, or another worker stored the
+		// same key first).
+		if cacheable {
+			if c.batchMemoSize.Add(1) <= batchCacheCap {
+				if _, loaded := c.batchMemo.LoadOrStore(key, flipParity); loaded {
+					c.batchMemoSize.Add(-1)
+				}
+			} else {
+				c.batchMemoSize.Add(-1)
+			}
+		}
+		logical ^= flipParity << lane
+	}
+	return logical
+}
+
+// RawLogicalBatch is the word-parallel RawLogical: the packed
+// uncorrected ancilla readout of all 64 lanes.
+func (c *Code) RawLogicalBatch(rec []uint64, live uint64) uint64 {
+	return rec[c.AncRead.Start]
+}
+
+// batchMemoEntries reports the current syndrome-memo population (test
+// hook).
+func (c *Code) batchMemoEntries() int64 { return c.batchMemoSize.Load() }

@@ -1,0 +1,160 @@
+package qec
+
+import (
+	"testing"
+
+	"radqec/internal/rng"
+)
+
+// randomRecord fills a packed 64-lane record with uniform random bits —
+// far denser syndromes than any physical campaign, which stresses the
+// slow path and the memo.
+func randomRecord(t *testing.T, c *Code, src *rng.Source) []uint64 {
+	t.Helper()
+	rec := make([]uint64, c.Circ.NumClbits)
+	for i := range rec {
+		rec[i] = src.Uint64()
+	}
+	return rec
+}
+
+// unpackLane extracts one lane's scalar record.
+func unpackLane(rec []uint64, lane uint) []int {
+	bits := make([]int, len(rec))
+	for i, w := range rec {
+		bits[i] = int(w>>lane) & 1
+	}
+	return bits
+}
+
+func checkDecodeBatchMatches(t *testing.T, c *Code, words int, seed uint64) {
+	t.Helper()
+	src := rng.New(seed)
+	for w := 0; w < words; w++ {
+		rec := randomRecord(t, c, src)
+		got := c.DecodeBatch(rec, ^uint64(0))
+		for lane := uint(0); lane < 64; lane++ {
+			want := c.Decode(unpackLane(rec, lane))
+			if int((got>>lane)&1) != want {
+				t.Fatalf("word %d lane %d: DecodeBatch %d, Decode %d", w, lane, (got>>lane)&1, want)
+			}
+		}
+	}
+}
+
+func TestDecodeBatchMatchesDecodeRepetition(t *testing.T) {
+	c, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecodeBatchMatches(t, c, 6, 11)
+	if c.batchMemoEntries() == 0 {
+		t.Fatal("dense random syndromes never populated the memo")
+	}
+	// A second pass over fresh random records decodes through the warm
+	// memo; equality must still hold lane for lane.
+	checkDecodeBatchMatches(t, c, 6, 12)
+}
+
+func TestDecodeBatchMatchesDecodeXXZZ(t *testing.T) {
+	c, err := NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecodeBatchMatches(t, c, 4, 21)
+}
+
+func TestDecodeBatchMatchesDecodeManyRounds(t *testing.T) {
+	// 14 stabilizers x 7 layers = 98 defect bits: too wide for the memo
+	// key, exercising the uncached fallback.
+	c, err := NewRepetitionRounds(15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecodeBatchMatches(t, c, 2, 31)
+	if c.batchMemoEntries() != 0 {
+		t.Fatal("uncacheable code populated the memo")
+	}
+}
+
+func TestDecodeBatchZeroSyndromeFastPath(t *testing.T) {
+	// A fault-free record (all-zero syndromes, data readout = logical
+	// |1>) must decode to all-ones without consulting the matcher.
+	c, err := NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]uint64, c.Circ.NumClbits)
+	for d := 0; d < c.Data.Size; d++ {
+		rec[c.DataRead.Start+d] = ^uint64(0)
+	}
+	before := c.batchMemoEntries()
+	if got := c.DecodeBatch(rec, ^uint64(0)); got != ^uint64(0) {
+		t.Fatalf("clean record decoded to %x", got)
+	}
+	if c.batchMemoEntries() != before {
+		t.Fatal("fast path touched the memo")
+	}
+}
+
+func TestDecodeBatchRespectsLiveMask(t *testing.T) {
+	// Dead lanes must not cost matcher work: a record whose only
+	// non-zero syndrome sits in a dead lane takes the fast path.
+	c, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]uint64, c.Circ.NumClbits)
+	rec[c.C0.Start] = 1 << 63 // defect in lane 63 only
+	live := uint64(1)<<63 - 1 // lanes 0..62
+	got := c.DecodeBatch(rec, live)
+	for lane := uint(0); lane < 63; lane++ {
+		want := c.Decode(unpackLane(rec, lane))
+		if int((got>>lane)&1) != want {
+			t.Fatalf("live lane %d wrong", lane)
+		}
+	}
+}
+
+func TestRawLogicalBatch(t *testing.T) {
+	c, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]uint64, c.Circ.NumClbits)
+	rec[c.AncRead.Start] = 0xdeadbeef
+	if got := c.RawLogicalBatch(rec, ^uint64(0)); got != 0xdeadbeef {
+		t.Fatalf("RawLogicalBatch = %x", got)
+	}
+}
+
+func BenchmarkDecodeBatchSparse(b *testing.B) {
+	c, err := NewRepetition(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make([]uint64, c.Circ.NumClbits)
+	for d := 0; d < c.Data.Size; d++ {
+		rec[c.DataRead.Start+d] = ^uint64(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeBatch(rec, ^uint64(0))
+	}
+}
+
+func BenchmarkDecodeBatchDense(b *testing.B) {
+	c, err := NewRepetition(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(7)
+	rec := make([]uint64, c.Circ.NumClbits)
+	for i := range rec {
+		rec[i] = src.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeBatch(rec, ^uint64(0))
+	}
+}

@@ -16,6 +16,7 @@ package qec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"radqec/internal/circuit"
 )
@@ -55,6 +56,14 @@ type Code struct {
 	// guarded by stgOnce so concurrent campaign workers share one build.
 	stg     *stGraph
 	stgOnce sync.Once
+
+	// batchMemo caches, per space-time defect pattern (packed into a
+	// uint64 key), the parity of the MWPM correction on the logical
+	// support — the only way the matching enters the decoded value. It
+	// is shared by every campaign decoding this code; batchMemoSize
+	// bounds it. See DecodeBatch.
+	batchMemo     sync.Map // uint64 -> uint64 (flip parity)
+	batchMemoSize atomic.Int64
 }
 
 // NumQubits returns the total number of physical qubits in the circuit.

@@ -124,6 +124,44 @@ func (s *Source) Bool(p float64) bool {
 	return s.Float64() < p
 }
 
+// Bernoulli64 returns a word of 64 independent Bernoulli(p) bits — bit i
+// of the result is 1 with probability p, matching the distribution of 64
+// Bool(p) calls. Probabilities are quantised to the same 53-bit grid
+// Float64 lives on, so a lane fires exactly when its implicit uniform
+// would satisfy Float64() < p.
+//
+// The sampler compares 64 per-lane uniforms against the fixed-point
+// threshold bit-serially from the most significant bit, early-exiting as
+// soon as every lane's comparison is decided; the expected cost is ~8
+// Uint64 draws per word (0.125 draws per lane) independent of p, an
+// 8x saving over one draw per lane.
+func (s *Source) Bernoulli64(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	// Fires iff U < p for a 53-bit uniform integer U, i.e. U < ceil(p·2^53).
+	const bitsP = 53
+	t := uint64(math.Ceil(p * (1 << bitsP)))
+	if t >= 1<<bitsP {
+		return ^uint64(0)
+	}
+	var lt uint64    // lanes decided U < t
+	eq := ^uint64(0) // lanes still tied with the threshold prefix
+	for k := bitsP - 1; k >= 0 && eq != 0; k-- {
+		u := s.Uint64()
+		if (t>>uint(k))&1 == 1 {
+			lt |= eq &^ u // threshold bit 1, lane bit 0: lane is below
+			eq &= u
+		} else {
+			eq &= ^u // threshold bit 0, lane bit 1: lane is above
+		}
+	}
+	return lt
+}
+
 // Perm returns a random permutation of [0, n) using Fisher-Yates.
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

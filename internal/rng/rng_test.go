@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -234,5 +235,78 @@ func BenchmarkFloat64(b *testing.B) {
 	s := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = s.Float64()
+	}
+}
+
+func TestBernoulli64Edges(t *testing.T) {
+	s := New(1)
+	if got := s.Bernoulli64(0); got != 0 {
+		t.Fatalf("p=0 word = %x", got)
+	}
+	if got := s.Bernoulli64(-1); got != 0 {
+		t.Fatalf("p<0 word = %x", got)
+	}
+	if got := s.Bernoulli64(1); got != ^uint64(0) {
+		t.Fatalf("p=1 word = %x", got)
+	}
+	if got := s.Bernoulli64(2); got != ^uint64(0) {
+		t.Fatalf("p>1 word = %x", got)
+	}
+}
+
+func TestBernoulli64Deterministic(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := 0; i < 100; i++ {
+		if a.Bernoulli64(0.3) != b.Bernoulli64(0.3) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestBernoulli64Rates(t *testing.T) {
+	// Per-lane fire rates must match p within binomial error for a wide
+	// range of probabilities, including ones far from dyadic grids.
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 1.0 / 3, 0.5, 0.9} {
+		s := New(42)
+		const words = 30000
+		hits := 0
+		for i := 0; i < words; i++ {
+			hits += bits.OnesCount64(s.Bernoulli64(p))
+		}
+		n := float64(words * 64)
+		rate := float64(hits) / n
+		// 5 sigma of the binomial.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(rate-p) > tol {
+			t.Fatalf("p=%v: rate %v off by more than %v", p, rate, tol)
+		}
+	}
+}
+
+func TestBernoulli64LaneIndependence(t *testing.T) {
+	// Every lane must fire at the same marginal rate (no positional
+	// bias from the bit-serial comparison).
+	s := New(7)
+	const words = 20000
+	const p = 0.3
+	var perLane [64]int
+	for i := 0; i < words; i++ {
+		w := s.Bernoulli64(p)
+		for l := 0; l < 64; l++ {
+			perLane[l] += int(w>>l) & 1
+		}
+	}
+	tol := 5 * math.Sqrt(p*(1-p)/float64(words))
+	for l, hits := range perLane {
+		if rate := float64(hits) / words; math.Abs(rate-p) > tol {
+			t.Fatalf("lane %d rate %v off target %v", l, rate, p)
+		}
+	}
+}
+
+func BenchmarkBernoulli64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Bernoulli64(0.01)
 	}
 }

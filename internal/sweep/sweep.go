@@ -74,6 +74,12 @@ type Config struct {
 	// Batch is the adaptive first-batch and minimum-batch size
 	// (default 256).
 	Batch int
+	// Align, when above 1, rounds every batch size up to a multiple of
+	// it (capped by the remaining budget, so totals are unchanged).
+	// Bit-parallel campaigns set it to 64 so batches fill whole shot
+	// words; by the BatchRunner contract alignment never changes the
+	// merged counts, only how the work is chunked.
+	Align int
 	// Workers caps how many points run concurrently (0 = GOMAXPROCS).
 	Workers int
 	// OnResult, when set, receives each point's result as it completes.
@@ -101,10 +107,21 @@ func (c Config) withDefaults() Config {
 			}
 		}
 	}
+	if c.Align <= 0 {
+		c.Align = 1
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
+}
+
+// alignUp rounds n up to the alignment grid.
+func (c Config) alignUp(n int) int {
+	if rem := n % c.Align; rem != 0 {
+		n += c.Align - rem
+	}
+	return n
 }
 
 // Result is the estimate a sweep produced for one point.
@@ -215,6 +232,7 @@ func runFixed(cfg Config, run BatchRunner, r *Result) bool {
 	if batch < 1 {
 		batch = 1
 	}
+	batch = cfg.alignUp(batch)
 	for r.Shots < cfg.Shots {
 		n := cfg.Shots - r.Shots
 		if n > batch {
@@ -270,6 +288,7 @@ func nextBatch(cfg Config, c Counts) int {
 			n = need
 		}
 	}
+	n = cfg.alignUp(n)
 	if n > remaining {
 		n = remaining
 	}

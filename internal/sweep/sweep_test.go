@@ -197,3 +197,50 @@ func TestRunEmpty(t *testing.T) {
 		t.Fatalf("empty sweep produced %d results", len(res))
 	}
 }
+
+func TestAlignRoundsBatchSizes(t *testing.T) {
+	// Fixed mode: every batch but the last is a multiple of the
+	// alignment, and the total is exactly Shots.
+	var sizes []int
+	pt := Point{Key: "a", Prepare: func() BatchRunner {
+		return func(start, n int) Counts {
+			sizes = append(sizes, n)
+			return Counts{Shots: n}
+		}
+	}}
+	res := Run(Config{Shots: 1000, Align: 64, Workers: 1}, []Point{pt})[0]
+	if res.Shots != 1000 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+	total := 0
+	for i, n := range sizes {
+		total += n
+		if i < len(sizes)-1 && n%64 != 0 {
+			t.Fatalf("batch %d size %d not word-aligned", i, n)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("batches sum to %d", total)
+	}
+
+	// Adaptive mode: same property, and the counts still match the
+	// contiguous stream (alignment only re-chunks the same shot range).
+	sizes = nil
+	adaptive := Run(Config{CI: 0.05, Align: 64, Workers: 1},
+		[]Point{bernoulliPoint("b", 3, 0.2)})[0]
+	want := countShots(3, 0.2, adaptive.Shots)
+	if adaptive.Counts != want {
+		t.Fatalf("aligned adaptive %+v != contiguous %+v", adaptive.Counts, want)
+	}
+}
+
+func TestAlignDoesNotChangeMergedCounts(t *testing.T) {
+	// The BatchRunner contract makes alignment invisible in the counts:
+	// the same point swept with Align 1 and Align 64 at fixed shots
+	// yields identical totals.
+	a := Run(Config{Shots: 900}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	b := Run(Config{Shots: 900, Align: 64}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	if a.Counts != b.Counts {
+		t.Fatalf("alignment changed counts: %+v vs %+v", a.Counts, b.Counts)
+	}
+}
