@@ -335,6 +335,51 @@ func BenchmarkFrameEnginesFig5Rep(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { benchFig5RepGrid(b, true) })
 }
 
+// The XXZZ acceptance pair: a Fig. 6-style d=3 XXZZ grid (full-impact
+// erasure at each of the first rootCount used physical qubits, decode
+// included) sampled by the exact-oracle tableau engine versus the
+// universal batched frame engine. The reported shots/s ratio is the
+// acceptance metric of the universal engine: >= 5x tableau on this
+// grid. CI records both series as BENCH_xxzz.json and benchstat-gates
+// regressions against main.
+func benchFig6XXZZGrid(b *testing.B, engine string) {
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	roots := tr.Used()
+	const rootCount = 6
+	if len(roots) > rootCount {
+		roots = roots[:rootCount]
+	}
+	const shots = 2048
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ri, root := range roots {
+			ev := noise.NewRadiationEvent(dist[root], 1.0, false)
+			seed := uint64(ri*1009 + 7)
+			run := core.NewEngineRunner(engine, tr.Circuit,
+				noise.NewDepolarizing(0.01), ev, seed,
+				code.ExpectedLogical(), code.Decode, code.DecodeBatch, 1)
+			run(0, shots)
+			total += shots
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkFrameEnginesFig6XXZZ(b *testing.B) {
+	b.Run("tableau", func(b *testing.B) { benchFig6XXZZGrid(b, core.EngineTableau) })
+	b.Run("batched", func(b *testing.B) { benchFig6XXZZGrid(b, core.EngineBatch) })
+}
+
 // Microbenches for the hot substrates.
 
 func BenchmarkShotRepetition15(b *testing.B) {

@@ -16,11 +16,14 @@
 //	-p RATE      intrinsic physical error rate (default 0.01)
 //	-ns N        temporal samples of the fault decay (default 10)
 //	-engine E    simulation engine: auto (default), tableau, frame, or
-//	             batch. auto runs frame-exact campaigns (the repetition
-//	             family) on the bit-parallel batched frame engine and
-//	             everything else on the stabilizer tableau; frame/batch
-//	             force the Pauli-frame engines everywhere (approximate
-//	             for radiation on superposed XXZZ sites)
+//	             batch. auto runs every campaign on the bit-parallel
+//	             batched frame engine (universal over the Clifford set;
+//	             radiation resets on superposed XXZZ sites use the
+//	             collapsed-branch approximation); tableau forces the
+//	             exact-oracle stabilizer tableau
+//	-decoder D   syndrome decoder: mwpm (default, blossom matching) or
+//	             uf (almost-linear union-find); both have word-parallel
+//	             twins for the batched engine
 //	-ci W        target Wilson 95% half-width; >0 turns on adaptive
 //	             shot allocation per point (default off)
 //	-maxshots N  adaptive per-point shot cap (0 = worst-case count
@@ -40,6 +43,7 @@ import (
 	"sort"
 	"time"
 
+	"radqec/internal/core"
 	"radqec/internal/exp"
 	"radqec/internal/sweep"
 )
@@ -48,6 +52,12 @@ type experiment struct {
 	name string
 	desc string
 	run  func(exp.Config) (*exp.Table, error)
+	// xxzzRad marks experiments whose campaigns include radiation
+	// strikes on XXZZ circuits — the collapsed-branch approximation
+	// domain of the frame engines (see package frame); the stderr
+	// notice in main fires only for these. Repetition-only and
+	// radiation-free experiments are frame-exact on every engine.
+	xxzzRad bool
 }
 
 func experiments() []experiment {
@@ -55,19 +65,19 @@ func experiments() []experiment {
 		return func(c exp.Config) (*exp.Table, error) { return f(c), nil }
 	}
 	return []experiment{
-		{"fig3", "temporal decay T(t) and its step approximation", wrap(exp.Fig3)},
-		{"fig4", "spatial decay S(d) over architecture distance", wrap(exp.Fig4)},
-		{"fig5", "logical error landscape: noise x radiation", exp.Fig5},
-		{"fig6", "criticality by code distance (single erasure)", exp.Fig6},
-		{"fig7", "correlated spread vs independent erasures", exp.Fig7},
-		{"fig8", "per-qubit criticality across architectures", exp.Fig8},
-		{"fig8summary", "architecture comparison summary", exp.Fig8Summary},
-		{"ablation-decoder", "blossom vs union-find vs greedy decoding", exp.AblationDecoder},
-		{"ablation-ns", "temporal sample count sweep", exp.AblationTemporalSamples},
-		{"ablation-layout", "initial layout strategy", exp.AblationLayout},
-		{"ablation-rounds", "stabilization round count sweep", exp.AblationRounds},
-		{"threshold", "intrinsic-noise baseline by distance (no radiation)", exp.Threshold},
-		{"logical", "post-QEC logical-layer fault injection (future work)", exp.LogicalLayer},
+		{"fig3", "temporal decay T(t) and its step approximation", wrap(exp.Fig3), false},
+		{"fig4", "spatial decay S(d) over architecture distance", wrap(exp.Fig4), false},
+		{"fig5", "logical error landscape: noise x radiation", exp.Fig5, true},
+		{"fig6", "criticality by code distance (single erasure)", exp.Fig6, true},
+		{"fig7", "correlated spread vs independent erasures", exp.Fig7, true},
+		{"fig8", "per-qubit criticality across architectures", exp.Fig8, true},
+		{"fig8summary", "architecture comparison summary", exp.Fig8Summary, true},
+		{"ablation-decoder", "blossom vs union-find vs greedy decoding", exp.AblationDecoder, true},
+		{"ablation-ns", "temporal sample count sweep", exp.AblationTemporalSamples, false},
+		{"ablation-layout", "initial layout strategy", exp.AblationLayout, true},
+		{"ablation-rounds", "stabilization round count sweep", exp.AblationRounds, false},
+		{"threshold", "intrinsic-noise baseline by distance (no radiation)", exp.Threshold, false},
+		{"logical", "post-QEC logical-layer fault injection (future work)", exp.LogicalLayer, true},
 	}
 }
 
@@ -108,6 +118,7 @@ func main() {
 	p := flag.Float64("p", 0.01, "intrinsic physical error rate")
 	ns := flag.Int("ns", 10, "temporal samples of the fault decay")
 	engine := flag.String("engine", exp.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", exp.DecoderMWPM, "syndrome decoder: mwpm or uf")
 	ci := flag.Float64("ci", 0, "target Wilson 95% half-width per point (>0 enables adaptive shots)")
 	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -121,16 +132,14 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
-	valid := false
-	for _, e := range exp.Engines() {
-		if *engine == e {
-			valid = true
-			break
-		}
+	// Flag values that select named strategies are validated here, with
+	// a usage error listing the valid names, so a typo can never reach
+	// the panic paths deep in core.NewEngineRunner or the sweep workers.
+	if !containsName(exp.Engines(), *engine) {
+		usageError(fmt.Sprintf("unknown engine %q (want one of %v)", *engine, exp.Engines()))
 	}
-	if !valid {
-		fmt.Fprintf(os.Stderr, "radqec: unknown engine %q (want one of %v)\n", *engine, exp.Engines())
-		os.Exit(2)
+	if !containsName(exp.Decoders(), *decoder) {
+		usageError(fmt.Sprintf("unknown decoder %q (want one of %v)", *decoder, exp.Decoders()))
 	}
 	cfg := exp.Config{
 		Shots:    *shots,
@@ -141,6 +150,7 @@ func main() {
 		CI:       *ci,
 		MaxShots: *maxShots,
 		Engine:   *engine,
+		Decoder:  *decoder,
 	}
 
 	var out io.Writer = os.Stdout
@@ -163,6 +173,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "radqec: unknown experiment %q\n\n", name)
 		usage()
 		os.Exit(2)
+	}
+	// The frame engines approximate radiation resets on superposed XXZZ
+	// sites (collapsed-branch coin; see package frame); say so once on
+	// stderr — only when a selected experiment actually enters that
+	// domain — so default-flag reproduction runs know the exact oracle.
+	if resolved, _ := core.ResolveEngine(*engine); resolved != core.EngineTableau {
+		for _, e := range selected {
+			if e.xxzzRad {
+				fmt.Fprintf(os.Stderr, "radqec: engine %s: radiation resets on superposed XXZZ sites use the collapsed-branch approximation; -engine tableau is the exact oracle\n", resolved)
+				break
+			}
+		}
 	}
 	enc := json.NewEncoder(out)
 	for _, e := range selected {
@@ -237,4 +259,20 @@ func usage() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "radqec:", err)
 	os.Exit(1)
+}
+
+// containsName reports whether names contains v.
+func containsName(names []string, v string) bool {
+	for _, n := range names {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// usageError reports a bad flag value and exits with the usage status.
+func usageError(msg string) {
+	fmt.Fprintf(os.Stderr, "radqec: %s\n", msg)
+	os.Exit(2)
 }

@@ -35,19 +35,55 @@ const (
 // Engine names for Options.Engine.
 const (
 	// EngineAuto (the default) picks the bit-parallel batched frame
-	// engine where it is exact — computational-basis circuits, i.e. the
-	// whole repetition family — and the tableau engine everywhere else.
+	// engine for every campaign: the universal frame engine is exact for
+	// the full Clifford set under depolarizing noise and for radiation
+	// resets on Z-eigenstate sites, and carries only the documented
+	// collapsed-branch approximation for resets on superposed XXZZ
+	// sites. EngineTableau remains the exact oracle for those.
 	EngineAuto = "auto"
 	// EngineTableau forces the stabilizer tableau: exact for every
 	// circuit and fault, O(gates·n) per shot.
 	EngineTableau = "tableau"
 	// EngineFrame forces the scalar Pauli-frame engine: O(gates) per
-	// shot, approximate for radiation resets on superposed sites.
+	// shot, approximate only for radiation resets on superposed sites.
 	EngineFrame = "frame"
 	// EngineBatch forces the bit-parallel frame engine: 64 shots per
 	// uint64 word, same validity domain as EngineFrame.
 	EngineBatch = "batch"
 )
+
+// Engines lists the recognised Options.Engine values.
+func Engines() []string {
+	return []string{EngineAuto, EngineTableau, EngineFrame, EngineBatch}
+}
+
+// Decoder names for Options.Decoder.
+const (
+	// DecoderMWPM decodes with blossom minimum-weight perfect matching
+	// (the paper's decoder and the default).
+	DecoderMWPM = "mwpm"
+	// DecoderUF decodes with the almost-linear union-find decoder.
+	DecoderUF = "uf"
+)
+
+// Decoders lists the recognised Options.Decoder values.
+func Decoders() []string { return []string{DecoderMWPM, DecoderUF} }
+
+// ResolveDecoder maps a decoder name onto a code's scalar and
+// word-parallel decode functions; both views decode lane-for-lane
+// identically. Empty means DecoderMWPM. Unknown names are an error —
+// the single decoder-selection policy shared by the core façade, the
+// experiment sweeps and the CLI.
+func ResolveDecoder(name string, code *qec.Code) (func(bits []int) int, frame.BatchDecodeFunc, error) {
+	switch name {
+	case "", DecoderMWPM:
+		return code.Decode, code.DecodeBatch, nil
+	case DecoderUF:
+		return code.DecodeUnionFind, code.DecodeUnionFindBatch, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown decoder %q (want one of %v)", name, Decoders())
+	}
+}
 
 // CodeSpec selects a surface code and its distance tuple.
 type CodeSpec struct {
@@ -80,6 +116,9 @@ type Options struct {
 	// Engine selects the simulation engine (EngineAuto, EngineTableau,
 	// EngineFrame or EngineBatch); empty means EngineAuto.
 	Engine string
+	// Decoder selects the syndrome decoder (DecoderMWPM or DecoderUF);
+	// empty means DecoderMWPM.
+	Decoder string
 }
 
 func (o Options) withDefaults() Options {
@@ -151,11 +190,10 @@ type Simulator struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int
-	// frameExact records whether the frame engines are exact for any
-	// fault configuration on this circuit (no H/S gates: the state never
-	// leaves the computational basis), which lets EngineAuto pick the
-	// bit-parallel engine.
-	frameExact bool
+	// decode and decodeBatch are the scalar and word-parallel views of
+	// the configured decoder, resolved once at construction.
+	decode      func(bits []int) int
+	decodeBatch frame.BatchDecodeFunc
 }
 
 // NewSimulator builds the code, transpiles it onto the topology and
@@ -177,7 +215,11 @@ func NewSimulator(opts Options) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := ResolveEngine(opts.Engine, false); err != nil {
+	if _, err := ResolveEngine(opts.Engine); err != nil {
+		return nil, err
+	}
+	decode, decodeBatch, err := ResolveDecoder(opts.Decoder, code)
+	if err != nil {
 		return nil, err
 	}
 	topo, err := arch.ByName(opts.Topology, code.NumQubits())
@@ -189,11 +231,12 @@ func NewSimulator(opts Options) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{
-		opts:       opts,
-		code:       code,
-		tr:         tr,
-		dist:       topo.Graph.AllPairsShortestPaths(),
-		frameExact: frame.ExactFor(tr.Circuit),
+		opts:        opts,
+		code:        code,
+		tr:          tr,
+		dist:        topo.Graph.AllPairsShortestPaths(),
+		decode:      decode,
+		decodeBatch: decodeBatch,
 	}, nil
 }
 
@@ -270,28 +313,27 @@ func NewEngineRunner(engine string, circ *circuit.Circuit, dep noise.Depolarizin
 
 // ResolveEngine maps a configured engine name onto the engine that
 // will actually run: explicit names resolve to themselves, "" and
-// EngineAuto pick EngineBatch when the campaign is frame-exact (see
-// frame.ExactFor) and EngineTableau otherwise. Unknown names are an
-// error. This is the single auto-selection policy shared by the core
-// façade and the experiment sweeps.
-func ResolveEngine(engine string, frameExact bool) (string, error) {
+// EngineAuto pick EngineBatch — the universal frame engine covers the
+// full Clifford set, so every campaign in the repo rides the
+// bit-parallel fast path by default, with EngineTableau kept as the
+// explicit oracle. Unknown names are an error. This is the single
+// auto-selection policy shared by the core façade and the experiment
+// sweeps.
+func ResolveEngine(engine string) (string, error) {
 	switch engine {
 	case EngineTableau, EngineFrame, EngineBatch:
 		return engine, nil
 	case "", EngineAuto:
-		if frameExact {
-			return EngineBatch, nil
-		}
-		return EngineTableau, nil
+		return EngineBatch, nil
 	default:
-		return "", fmt.Errorf("core: unknown engine %q", engine)
+		return "", fmt.Errorf("core: unknown engine %q (want one of %v)", engine, Engines())
 	}
 }
 
 // engine resolves the configured engine for this simulator; the name
 // was validated in NewSimulator.
 func (s *Simulator) engine() string {
-	eng, _ := ResolveEngine(s.opts.Engine, s.frameExact)
+	eng, _ := ResolveEngine(s.opts.Engine)
 	return eng
 }
 
@@ -306,7 +348,7 @@ func (s *Simulator) runWith(ev *noise.RadiationEvent, seed uint64,
 }
 
 func (s *Simulator) run(ev *noise.RadiationEvent, seed uint64) Result {
-	return s.runWith(ev, seed, s.code.Decode, s.code.DecodeBatch)
+	return s.runWith(ev, seed, s.decode, s.decodeBatch)
 }
 
 // Clean estimates the logical error rate with intrinsic noise only.

@@ -176,3 +176,66 @@ func TestSimulatorOnIBMDevices(t *testing.T) {
 		}
 	}
 }
+
+func TestResolveEngineUniversalAuto(t *testing.T) {
+	// Auto (and empty) resolve to the batched engine for every circuit;
+	// explicit names resolve to themselves; unknown names error.
+	for _, name := range []string{"", EngineAuto} {
+		if eng, err := ResolveEngine(name); err != nil || eng != EngineBatch {
+			t.Fatalf("ResolveEngine(%q) = %q, %v", name, eng, err)
+		}
+	}
+	for _, name := range []string{EngineTableau, EngineFrame, EngineBatch} {
+		if eng, err := ResolveEngine(name); err != nil || eng != name {
+			t.Fatalf("ResolveEngine(%q) = %q, %v", name, eng, err)
+		}
+	}
+	if _, err := ResolveEngine("qutrit"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestNewSimulatorRejectsUnknownEngineAndDecoder(t *testing.T) {
+	base := Options{Code: CodeSpec{Family: FamilyRepetition, DZ: 5}}
+	bad := base
+	bad.Engine = "warp"
+	if _, err := NewSimulator(bad); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	bad = base
+	bad.Decoder = "psychic"
+	if _, err := NewSimulator(bad); err == nil {
+		t.Fatal("unknown decoder accepted")
+	}
+}
+
+func TestDecoderSelection(t *testing.T) {
+	// Both decoders run the same XXZZ campaign through the batched
+	// engine; rates may differ (union-find is suboptimal) but both must
+	// produce full campaigns, and MWPM must be at least as accurate.
+	rate := func(decoder string) Result {
+		sim, err := NewSimulator(Options{
+			Code:              CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3},
+			Topology:          "mesh",
+			Shots:             2000,
+			Seed:              7,
+			Decoder:           decoder,
+			PhysicalErrorRate: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Clean()
+	}
+	mwpm := rate(DecoderMWPM)
+	uf := rate(DecoderUF)
+	if mwpm.Shots != 2000 || uf.Shots != 2000 {
+		t.Fatalf("incomplete campaigns: mwpm %+v uf %+v", mwpm, uf)
+	}
+	if mwpm.Errors == 0 || uf.Errors == 0 {
+		t.Fatalf("no errors at p=0.05: mwpm %+v uf %+v", mwpm, uf)
+	}
+	if mwpm.Rate() > uf.Rate()+0.03 {
+		t.Fatalf("MWPM (%.4f) should not be worse than union-find (%.4f)", mwpm.Rate(), uf.Rate())
+	}
+}

@@ -48,7 +48,7 @@ func AblationDecoder(cfg Config) (*Table, error) {
 		// they see identical shot streams and differ only in decoding.
 		for _, dec := range []decoder{
 			{"blossom", code.Decode, code.DecodeBatch},
-			{"union-find", code.DecodeUnionFind, nil},
+			{"union-find", code.DecodeUnionFind, code.DecodeUnionFindBatch},
 			{"greedy", code.DecodeGreedy, nil},
 		} {
 			s := p.spec(fmt.Sprintf("ablation-decoder/%s/%s", code.Name, dec.name),

@@ -37,10 +37,18 @@ const (
 	EngineBatch   = core.EngineBatch
 )
 
+// Syndrome decoder names for Config.Decoder, shared with the core
+// façade.
+const (
+	DecoderMWPM = core.DecoderMWPM
+	DecoderUF   = core.DecoderUF
+)
+
 // Engines lists the recognised Config.Engine values.
-func Engines() []string {
-	return []string{EngineAuto, EngineTableau, EngineFrame, EngineBatch}
-}
+func Engines() []string { return core.Engines() }
+
+// Decoders lists the recognised Config.Decoder values.
+func Decoders() []string { return core.Decoders() }
 
 // Config controls campaign sizes and reproducibility.
 type Config struct {
@@ -73,6 +81,21 @@ type Config struct {
 	// probability guards in package noise; the CLI validates its flag
 	// first, and library callers can pre-check with core.ResolveEngine.
 	Engine string
+	// Decoder selects the syndrome decoder for every spec that does not
+	// override its decode function (DecoderMWPM or DecoderUF); empty
+	// means DecoderMWPM. Unrecognised names panic like Engine; the CLI
+	// validates its flag first.
+	Decoder string
+}
+
+// DecoderName returns the decoder that will actually decode the
+// config's default-decoder specs ("" resolves to DecoderMWPM), for
+// labelling sweep-point keys and table notes.
+func (c Config) DecoderName() string {
+	if c.Decoder == "" {
+		return DecoderMWPM
+	}
+	return c.Decoder
 }
 
 // Defaults returns cfg with unset fields replaced by the paper's
@@ -176,15 +199,16 @@ func (t *Table) WriteCSV(w io.Writer) {
 // pct formats a rate as a percentage.
 func pct(r float64) string { return fmt.Sprintf("%.2f%%", 100*r) }
 
-// prepared couples a code with its routed circuit on a topology.
+// prepared couples a code with its routed circuit on a topology. Every
+// prepared circuit is batch-eligible: the universal frame engine covers
+// the full Clifford set, so EngineAuto rides the bit-parallel path for
+// all of them (radiation resets on superposed XXZZ sites carry the
+// collapsed-branch approximation documented in package frame; pass
+// EngineTableau for the exact oracle).
 type prepared struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int // all-pairs distances of the topology
-	// frameExact records whether every campaign on this circuit is exact
-	// under the Pauli-frame engines, so EngineAuto may pick the batched
-	// engine (see frame.ExactFor).
-	frameExact bool
 }
 
 func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
@@ -193,10 +217,9 @@ func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
 		return nil, err
 	}
 	return &prepared{
-		code:       code,
-		tr:         tr,
-		dist:       topo.Graph.AllPairsShortestPaths(),
-		frameExact: frame.ExactFor(tr.Circuit),
+		code: code,
+		tr:   tr,
+		dist: topo.Graph.AllPairsShortestPaths(),
 	}, nil
 }
 
@@ -221,7 +244,7 @@ type pointSpec struct {
 // fail-fast validation of core.NewSimulator (the CLI validates before
 // this).
 func (s pointSpec) engineFor(engine string) string {
-	eng, err := core.ResolveEngine(engine, s.prep.frameExact)
+	eng, err := core.ResolveEngine(engine)
 	if err != nil {
 		panic(fmt.Sprintf("exp: %v", err))
 	}
@@ -240,19 +263,23 @@ func (p *prepared) spec(key string, cfg Config, ev *noise.RadiationEvent, seed u
 // [s, s+n) consumes exactly the streams split(seed, s..s+n-1), and the
 // batched engine maps shot i to lane i%64 of word i/64 with one stream
 // per word — either way batching and workers never perturb rates.
-// shotWorkers caps the campaign's internal shot parallelism.
-func (s pointSpec) point(engine string, shotWorkers int) sweep.Point {
+// Specs that leave decode nil read the campaign through the configured
+// decoder (scalar and word-parallel views resolved together, so the
+// batched engine decodes lane-for-lane identically to the scalar
+// ones); specs that set decode keep their override. shotWorkers caps
+// the campaign's internal shot parallelism.
+func (s pointSpec) point(engine, decoder string, shotWorkers int) sweep.Point {
 	eng := s.engineFor(engine)
 	return sweep.Point{
 		Key: s.key,
 		Prepare: func() sweep.BatchRunner {
-			decode := s.decode
+			decode, dec := s.decode, s.decodeBatch
 			if decode == nil {
-				decode = s.prep.code.Decode
-			}
-			dec := s.decodeBatch
-			if dec == nil && s.decode == nil {
-				dec = s.prep.code.DecodeBatch
+				var err error
+				decode, dec, err = core.ResolveDecoder(decoder, s.prep.code)
+				if err != nil {
+					panic(fmt.Sprintf("exp: %v", err))
+				}
 			}
 			run := core.NewEngineRunner(eng, s.prep.tr.Circuit,
 				noise.NewDepolarizing(s.phys), s.ev, s.seed,
@@ -282,7 +309,7 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 	shotWorkers := (budget + len(specs) - 1) / len(specs)
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
-		points[i] = s.point(cfg.Engine, shotWorkers)
+		points[i] = s.point(cfg.Engine, cfg.Decoder, shotWorkers)
 	}
 	return sweep.Run(cfg.sweepConfig(), points)
 }

@@ -107,6 +107,13 @@ func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
 	st.Clear()
 	sim := s.sim
 	x, z := st.x, st.z
+	if sim.hasH {
+		// State preparation is a collapse point: every lane of every
+		// qubit draws its branch coin (see the package comment).
+		for q := range z {
+			z[q] = src.Uint64()
+		}
+	}
 	// nextErr is the absolute position of the next depolarizing error in
 	// the flattened (site, lane) bit-stream of numSites*64 positions.
 	p := sim.dep.P
@@ -142,20 +149,26 @@ func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
 			z[a], z[b] = z[b], z[a]
 		case circuit.KindMeasure:
 			q := op.Qubits[0]
+			k := sim.ref.MeasIndex[i]
 			ref := uint64(0)
-			if sim.ref[sim.measIndex[i]] == 1 {
+			if sim.ref.Record[k] == 1 {
 				ref = ^uint64(0)
 			}
 			st.Rec[op.Clbit] = ref ^ x[q]
-			// Measurement collapses the deviation's phase information.
-			z[q] = 0
-			if sim.DecohereMeasurements {
-				z[q] = src.Uint64() // 50% Z frame per lane
+			// Only a non-deterministic measurement collapses anything:
+			// its deviation phase is replaced by fresh branch coins.
+			// Measuring a Z eigenstate leaves the deviation untouched
+			// (see the scalar Run).
+			if sim.hasH && !sim.ref.Deterministic[k] {
+				z[q] = src.Uint64()
 			}
 		case circuit.KindReset:
 			q := op.Qubits[0]
 			x[q] = 0
 			z[q] = 0
+			if sim.hasH {
+				z[q] = src.Uint64()
+			}
 		case circuit.KindBarrier:
 			continue
 		}
@@ -187,8 +200,9 @@ func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
 			}
 		}
 		// Radiation reset faults, word-wide: the frame on fired lanes is
-		// erased and its X bit set from the recorded reference Z-value
-		// (see the scalar Run for the physics).
+		// erased and its X bit set from the recorded reference Z-value;
+		// superposed sites first inject the branch operator on a fair
+		// per-lane coin (see the scalar Run for the physics).
 		if sim.refZ[i] != nil {
 			for j, q := range op.Qubits {
 				pq := sim.rad.Probs[q]
@@ -199,13 +213,28 @@ func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
 				if fire == 0 {
 					continue
 				}
-				x[q] &^= fire
-				z[q] &^= fire
 				switch sim.refZ[i][j] {
 				case -1: // reference holds |1>, actual pinned to |0>
+					x[q] &^= fire
+					z[q] &^= fire
 					x[q] |= fire
-				case 0: // superposed reference: coin-flip deviation
-					x[q] |= fire & src.Uint64()
+				case 1:
+					x[q] &^= fire
+					z[q] &^= fire
+				case 0:
+					coin := fire & src.Uint64()
+					br := sim.branch[i][j]
+					for _, a := range br.xs {
+						x[a] ^= coin
+					}
+					for _, a := range br.zs {
+						z[a] ^= coin
+					}
+					x[q] &^= fire
+					z[q] &^= fire
+				}
+				if sim.hasH {
+					z[q] |= fire & src.Uint64()
 				}
 			}
 		}

@@ -287,3 +287,134 @@ func benchImpactRep(b *testing.B, batched bool) {
 
 func BenchmarkImpactRep15FrameScalar(b *testing.B)  { benchImpactRep(b, false) }
 func BenchmarkImpactRep15FrameBatched(b *testing.B) { benchImpactRep(b, true) }
+
+// --- XXZZ cross-checks: the universal engine on the paper's headline
+// code, mirroring the repetition-code suite above ---
+
+// xxzzCampaigns builds the scalar and batched frame campaigns of the
+// same XXZZ setup; ev may be nil for depolarizing-only campaigns.
+func xxzzCampaigns(t testing.TB, p float64, ev *noise.RadiationEvent, refSeed uint64) (*Campaign, *BatchCampaign) {
+	t.Helper()
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(tr.Circuit, noise.NewDepolarizing(p), ev, refSeed)
+	scalar := &Campaign{
+		Sim:      sim,
+		Decode:   code.Decode,
+		Expected: code.ExpectedLogical(),
+	}
+	batched := &BatchCampaign{
+		Sim:         NewBatchSimulator(sim),
+		DecodeBatch: code.DecodeBatch,
+		Expected:    code.ExpectedLogical(),
+	}
+	return scalar, batched
+}
+
+// xxzzStrike builds a full-impact spreading strike event on the
+// transpiled XXZZ-(3,3) circuit.
+func xxzzStrike(t testing.TB) *noise.RadiationEvent {
+	t.Helper()
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	return noise.NewRadiationEvent(dist[2], 1.0, true)
+}
+
+func TestBatchXXZZMatchesScalarWithinWilson(t *testing.T) {
+	// Depolarizing + radiation on XXZZ: scalar and batched engines share
+	// the identical validity domain (and approximation), so their rates
+	// must agree within the scalar campaign's Wilson interval.
+	scalar, batched := xxzzCampaigns(t, 0.01, xxzzStrike(t), 3)
+	const shots = 4096
+	s := scalar.Run(5, shots)
+	b := batched.Run(6, shots)
+	lo, hi := stats.WilsonCI(s.Errors, s.Shots)
+	if r := b.Rate(); r < lo || r > hi {
+		t.Fatalf("batched XXZZ rate %.4f outside scalar Wilson interval [%.4f, %.4f]", r, lo, hi)
+	}
+	if b.Errors == 0 {
+		t.Fatal("batched engine saw no errors under a full-impact XXZZ strike")
+	}
+}
+
+func TestBatchXXZZDepolarizingOnlyMatchesScalar(t *testing.T) {
+	scalar, batched := xxzzCampaigns(t, 0.03, nil, 7)
+	const shots = 6000
+	s := scalar.Run(11, shots)
+	b := batched.Run(13, shots)
+	if math.Abs(s.Rate()-b.Rate()) > 0.025 {
+		t.Fatalf("XXZZ engines disagree: scalar %.4f vs batched %.4f", s.Rate(), b.Rate())
+	}
+	if b.Errors == 0 {
+		t.Fatal("batched engine saw no errors at p=0.03")
+	}
+}
+
+func TestBatchXXZZWordBoundaries(t *testing.T) {
+	// Lane/word-boundary invariance on the XXZZ family: shot counts not
+	// divisible by 64 count exactly, and any partition of the range
+	// merges to the whole-run result.
+	_, batched := xxzzCampaigns(t, 0.02, xxzzStrike(t), 2)
+	for _, shots := range []int{1, 63, 64, 65, 100, 1000} {
+		if r := batched.Run(44, shots); r.Shots != shots {
+			t.Fatalf("Run counted %d shots, want %d", r.Shots, shots)
+		}
+	}
+	whole := batched.Run(44, 1000)
+	var merged Result
+	for _, r := range [][2]int{{0, 100}, {100, 1}, {101, 27}, {128, 400}, {528, 472}} {
+		part := batched.RunFrom(44, r[0], r[1])
+		merged.Shots += part.Shots
+		merged.Errors += part.Errors
+	}
+	if merged != whole {
+		t.Fatalf("partitioned runs %+v != whole run %+v", merged, whole)
+	}
+}
+
+func TestBatchXXZZDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) Result {
+		_, batched := xxzzCampaigns(t, 0.05, xxzzStrike(t), 2)
+		batched.Workers = workers
+		return batched.Run(44, 1500)
+	}
+	if a, b := mk(1), mk(8); a != b {
+		t.Fatalf("worker counts disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestLaneDecodeMatchesWordDecoderXXZZ(t *testing.T) {
+	// On XXZZ records the word-parallel MWPM and union-find decoders
+	// must agree lane for lane with their scalar twins.
+	code, err := qec.NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewBatch(code.Circ, noise.NewDepolarizing(0.05), nil, 3)
+	st := sim.NewBatchState()
+	mwpm := LaneDecode(code.Decode, code.Circ.NumClbits)
+	uf := LaneDecode(code.DecodeUnionFind, code.Circ.NumClbits)
+	for seed := uint64(0); seed < 8; seed++ {
+		sim.RunWord(rng.New(seed), st)
+		live := ^uint64(0)
+		if got, want := code.DecodeBatch(st.Rec, live), mwpm(st.Rec, live); got != want {
+			t.Fatalf("seed %d: DecodeBatch %x != LaneDecode(Decode) %x", seed, got, want)
+		}
+		if got, want := code.DecodeUnionFindBatch(st.Rec, live), uf(st.Rec, live); got != want {
+			t.Fatalf("seed %d: DecodeUnionFindBatch %x != LaneDecode(DecodeUnionFind) %x", seed, got, want)
+		}
+	}
+}

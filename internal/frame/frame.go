@@ -6,30 +6,44 @@
 // Clifford circuit. Gates cost O(1) per qubit-word instead of O(n), and
 // measurements O(1) instead of O(n²).
 //
-// Correctness and validity domain:
+// The engine is universal over the Clifford set: H, S, CX, CZ, SWAP,
+// Paulis, measurement and reset are all propagated exactly. Measurement
+// sampling follows Stim's reference-record construction — a shot's
+// outcome is the reference outcome XOR the frame's X component, and the
+// frame's Z component is re-randomised at every collapse point: state
+// preparation, each reset, and each measurement whose reference outcome
+// is non-deterministic (per-measurement flags recorded by
+// stab.RunReference; a deterministic measurement reads a Z eigenstate
+// and collapses nothing). Injecting a 50% Z there
+// is physically a no-op (the qubit is a Z eigenstate) but decorrelates
+// the branch labels of non-deterministic measurements from the
+// reference branch, so the sampled records follow the exact joint
+// outcome distribution of the tableau engine for Pauli (depolarizing)
+// noise on any Clifford circuit. Circuits without H never move Z frame
+// bits into X, so the collapse coins are skipped there and the
+// computational-basis fast path is untouched.
 //
-//   - Pauli (depolarizing) noise on any Clifford circuit: exact. The
-//     noisy state is always a Pauli times the reference trajectory, so
-//     measurement outcomes are the reference outcomes XOR the frame's X
-//     component, and every decoding statistic (detection events,
-//     decoded logical values, logical parities) is reproduced exactly.
+// Validity domain:
+//
+//   - Pauli (depolarizing) noise on any Clifford circuit: exact, raw
+//     bitstrings included.
 //   - Radiation reset faults at sites where the reference state is a
-//     Z eigenstate: exact (the reset deviation is X^[ref=1], which the
-//     simulator computes from recorded reference Z-values). The entire
-//     repetition-code family satisfies this, so its radiation campaigns
-//     are frame-exact.
+//     Z eigenstate: exact (the reset deviation is X^[ref=1], computed
+//     from recorded reference Z-values). The repetition family has only
+//     such sites, so its radiation campaigns are frame-exact.
 //   - Radiation reset faults on superposed sites (XXZZ data qubits
 //     inside X-plaquette extraction, mx qubits mid-plaquette): the
 //     reset projects entangled partners, a nonlocal effect outside the
-//     Pauli-frame formalism; the simulator approximates it with a fair
-//     coin on the struck qubit, which underestimates correlated damage.
-//     Use the tableau engine (package inject) for faithful
-//     heavy-radiation XXZZ campaigns; the frame engine remains useful
-//     there for fast, conservative sweeps.
-//
-// Branch-dependent raw bitstrings are pinned to the reference branch
-// unless DecohereMeasurements is enabled, which injects a 50% Z frame
-// after every measurement to re-randomise dependent outcomes.
+//     Pauli-frame formalism. The simulator approximates it at the
+//     collapsed-branch level: a fair branch coin conditionally injects
+//     the recorded branch operator (a reference stabilizer
+//     anti-commuting with Z on the struck site), so entangled partners
+//     take correlated damage, and the struck site is then pinned to
+//     |0>. The residual error is the difference between the projected
+//     and unprojected reference trajectory; RadiationExact reports
+//     whether a campaign has any such site, and the tableau engine
+//     (package inject) remains the oracle for faithful heavy-radiation
+//     XXZZ campaigns.
 package frame
 
 import (
@@ -41,6 +55,13 @@ import (
 	"radqec/internal/stab"
 )
 
+// branchOp is the sparse branch operator of a superposed radiation
+// site: a reference stabilizer anti-commuting with Z on the struck
+// qubit, injected into the frame on a fair coin when the reset fires.
+type branchOp struct {
+	xs, zs []int
+}
+
 // Simulator samples shots of one circuit under depolarizing noise and a
 // radiation event, using Pauli-frame propagation.
 type Simulator struct {
@@ -50,18 +71,23 @@ type Simulator struct {
 	// samp is the immutable skip-sampling template for the depolarizing
 	// channel; each shot copies and reseeds it.
 	samp noise.SkipSampler
-	// ref[k] is the reference outcome of the k-th measurement op.
-	ref []int
-	// measIndex[i] maps op index to measurement index (-1 otherwise).
-	measIndex []int
+	// ref is the recorded noiseless reference execution, including the
+	// per-measurement determinism flags.
+	ref *stab.Reference
 	// refZ[i][j] is the reference Z-expectation (+1, -1, or 0 for
 	// superposed) of op i's j-th qubit right after the op, recorded only
 	// where the radiation event can fire.
 	refZ [][]int
-	// DecohereMeasurements injects a 50% Z frame after each measurement,
-	// re-randomising reference-branch-dependent outcomes. Not needed for
-	// decoding statistics; see the package comment.
-	DecohereMeasurements bool
+	// branch[i][j] is the branch operator of op i's j-th qubit, recorded
+	// only where refZ is 0 (superposed strikeable sites).
+	branch [][]branchOp
+	// hasH records whether the circuit contains a Hadamard. Only H moves
+	// Z frame bits into the X plane, so without one the collapse-point Z
+	// coins are unobservable and are skipped entirely.
+	hasH bool
+	// radExact records whether every strikeable site is a Z eigenstate
+	// in the reference (no branch operators recorded).
+	radExact bool
 }
 
 // New builds a frame simulator. The reference execution runs the
@@ -76,89 +102,78 @@ func New(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.RadiationEven
 			len(rad.Probs), circ.NumQubits))
 	}
 	s := &Simulator{
-		circ:      circ,
-		dep:       dep,
-		rad:       rad,
-		samp:      dep.Skip(),
-		measIndex: make([]int, len(circ.Ops)),
-		refZ:      make([][]int, len(circ.Ops)),
+		circ:     circ,
+		dep:      dep,
+		rad:      rad,
+		samp:     dep.Skip(),
+		refZ:     make([][]int, len(circ.Ops)),
+		branch:   make([][]branchOp, len(circ.Ops)),
+		radExact: true,
 	}
-	// Record the reference trajectory, including the reference Z-value
-	// of every qubit a radiation reset could strike (needed to express
-	// the reset fault as a Pauli frame update).
-	tab := stab.New(max(circ.NumQubits, 1))
-	src := rng.New(refSeed)
-	for i, op := range circ.Ops {
-		s.measIndex[i] = -1
-		switch op.Kind {
-		case circuit.KindH:
-			tab.H(op.Qubits[0])
-		case circuit.KindX:
-			tab.X(op.Qubits[0])
-		case circuit.KindY:
-			tab.Y(op.Qubits[0])
-		case circuit.KindZ:
-			tab.Z(op.Qubits[0])
-		case circuit.KindS:
-			tab.S(op.Qubits[0])
-		case circuit.KindCNOT:
-			tab.CNOT(op.Qubits[0], op.Qubits[1])
-		case circuit.KindCZ:
-			tab.CZ(op.Qubits[0], op.Qubits[1])
-		case circuit.KindSWAP:
-			tab.SWAP(op.Qubits[0], op.Qubits[1])
-		case circuit.KindMeasure:
-			s.measIndex[i] = len(s.ref)
-			s.ref = append(s.ref, tab.MeasureZ(op.Qubits[0], src))
-		case circuit.KindReset:
-			tab.Reset(op.Qubits[0], src)
+	for _, op := range circ.Ops {
+		if op.Kind == circuit.KindH {
+			s.hasH = true
+			break
 		}
-		if op.Kind != circuit.KindBarrier && s.mayFire(op) {
-			vals := make([]int, len(op.Qubits))
-			for j, q := range op.Qubits {
-				vals[j] = tab.ExpectationZ(q) // +1 |0>, -1 |1>, 0 superposed
+	}
+	// Record the reference trajectory. Wherever a radiation reset could
+	// strike, also record the reference Z-value of the struck qubit
+	// (needed to express the reset fault as a Pauli frame update) and,
+	// on superposed sites, the branch operator that carries the
+	// projection's correlated damage to entangled partners.
+	s.ref = stab.RunReference(circ, refSeed, func(i int, tab *stab.Tableau) {
+		op := circ.Ops[i]
+		if !s.mayFire(op) {
+			return
+		}
+		vals := make([]int, len(op.Qubits))
+		var ops []branchOp
+		for j, q := range op.Qubits {
+			vals[j] = tab.ExpectationZ(q) // +1 |0>, -1 |1>, 0 superposed
+			if vals[j] == 0 {
+				if ops == nil {
+					ops = make([]branchOp, len(op.Qubits))
+				}
+				xs, zs, ok := tab.AnticommutingStabilizer(q)
+				if !ok {
+					panic("frame: superposed site without branch operator")
+				}
+				ops[j] = branchOp{xs: xs, zs: zs}
+				s.radExact = false
 			}
-			s.refZ[i] = vals
 		}
-	}
+		s.refZ[i] = vals
+		s.branch[i] = ops
+	})
 	return s
 }
 
-// ExactFor reports whether the frame engines reproduce the tableau
-// engine's statistics exactly for ANY fault configuration on the
-// circuit: without H or S gates a circuit starting from |0...0> never
-// leaves the computational basis, so every measurement is deterministic
-// and every radiation reset site is a Z eigenstate (see the validity
-// domain in the package comment). The whole repetition-code family
-// qualifies on every topology; XXZZ circuits do not (their plaquettes
-// need H). Depolarizing-only campaigns are exact regardless — this
-// predicate is the conservative test that also covers radiation.
-func ExactFor(c *circuit.Circuit) bool {
-	for _, op := range c.Ops {
-		switch op.Kind {
-		case circuit.KindH, circuit.KindS:
-			return false
-		}
-	}
-	return true
-}
+// Reference returns the recorded noiseless reference execution (shared,
+// not a copy): measurement record, determinism flags, op mapping.
+func (s *Simulator) Reference() *stab.Reference { return s.ref }
+
+// RadiationExact reports whether this campaign's radiation faults are
+// reproduced exactly: every site the event can strike holds a Z
+// eigenstate in the reference, so every reset deviation is a plain
+// Pauli. Depolarizing noise is always exact; this predicate only
+// concerns the radiation channel. The whole repetition family is
+// radiation-exact on every topology; XXZZ circuits under spreading
+// strikes are not (superposed mid-plaquette sites), and their rates
+// carry the documented collapsed-branch approximation.
+func (s *Simulator) RadiationExact() bool { return s.radExact }
 
 // mayFire reports whether the radiation event can strike any qubit of
 // the op (so reference Z-values are only recorded where needed).
 func (s *Simulator) mayFire(op circuit.Op) bool {
+	if op.Kind == circuit.KindBarrier {
+		return false
+	}
 	for _, q := range op.Qubits {
 		if q < len(s.rad.Probs) && s.rad.Probs[q] > 0 {
 			return true
 		}
 	}
 	return false
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Frame is the per-shot Pauli deviation state; reusable across shots.
@@ -203,10 +218,30 @@ func (f *Frame) swapXZ(q int) {
 	}
 }
 
+// collapseZ re-randomises the Z frame bit of q at a collapse point: the
+// qubit is a Z eigenstate there, so the injection is physically a no-op
+// that decorrelates downstream branch labels from the reference (see
+// the package comment). Skipped for circuits without H, where the coin
+// could never reach an X plane.
+func (s *Simulator) collapseZ(src *rng.Source, f *Frame, q int) {
+	if !s.hasH {
+		return
+	}
+	w, b := q/64, uint(q%64)
+	f.z[w] &^= 1 << b
+	f.z[w] |= (src.Uint64() & 1) << b
+}
+
 // Run executes one shot into bits (length NumClbits). The frame is
 // cleared first, so frames can be reused across shots.
 func (s *Simulator) Run(src *rng.Source, f *Frame, bits []int) {
 	f.Clear()
+	if s.hasH {
+		// State preparation is a collapse point for every qubit.
+		for w := range f.z {
+			f.z[w] = src.Uint64()
+		}
+	}
 	samp := s.samp
 	samp.Reset(src)
 	for i, op := range s.circ.Ops {
@@ -252,16 +287,19 @@ func (s *Simulator) Run(src *rng.Source, f *Frame, bits []int) {
 			}
 		case circuit.KindMeasure:
 			q := op.Qubits[0]
-			bits[op.Clbit] = s.ref[s.measIndex[i]] ^ int(f.getX(q))
-			// Measurement collapses the deviation's phase information.
-			w, b := q/64, uint(q%64)
-			f.z[w] &= ^(uint64(1) << b)
-			if s.DecohereMeasurements && src.Bool(0.5) {
-				f.flipZ(q)
+			k := s.ref.MeasIndex[i]
+			bits[op.Clbit] = s.ref.Record[k] ^ int(f.getX(q))
+			// Only a non-deterministic measurement collapses anything:
+			// measuring a Z eigenstate leaves the state — and therefore
+			// the deviation — untouched, so the reference determinism
+			// flag decides where the fresh branch coin is injected.
+			if !s.ref.Deterministic[k] {
+				s.collapseZ(src, f, q)
 			}
 		case circuit.KindReset:
-			// Reset erases any deviation on the qubit.
+			// Reset erases any deviation on the qubit, then collapses.
 			f.clearQ(op.Qubits[0])
+			s.collapseZ(src, f, op.Qubits[0])
 		case circuit.KindBarrier:
 			continue
 		}
@@ -282,25 +320,35 @@ func (s *Simulator) Run(src *rng.Source, f *Frame, bits []int) {
 		// Radiation reset faults pin the actual qubit to |0>. Relative
 		// to the reference, which holds Z-value v at this site, the
 		// pinned state is X^[v=1] times the reference, so the frame is
-		// erased and its X bit set from v. Superposed reference sites
-		// (v unknown, only on non-CSS-aligned qubits mid-plaquette) are
-		// approximated by a fair coin — exact in marginal, slightly
-		// decorrelated from entangled partners; the repetition code has
-		// no such sites, so its radiation campaigns are frame-exact.
+		// erased and its X bit set from v. On superposed reference sites
+		// (v unknown: non-CSS-aligned qubits mid-plaquette) a fair coin
+		// picks the collapse branch and conditionally injects the
+		// recorded branch operator, spreading the projection's damage to
+		// entangled partners before the struck site is pinned.
 		if s.refZ[i] != nil {
 			for j, q := range op.Qubits {
 				if !s.rad.Fires(q, src) {
 					continue
 				}
-				f.clearQ(q)
 				switch s.refZ[i][j] {
 				case -1: // reference holds |1>, actual pinned to |0>
+					f.clearQ(q)
 					f.flipX(q)
-				case 0: // superposed reference: coin-flip deviation
-					if src.Bool(0.5) {
-						f.flipX(q)
+				case 1:
+					f.clearQ(q)
+				case 0:
+					if src.Uint64()&1 == 1 {
+						br := s.branch[i][j]
+						for _, a := range br.xs {
+							f.flipX(a)
+						}
+						for _, a := range br.zs {
+							f.flipZ(a)
+						}
 					}
+					f.clearQ(q)
 				}
+				s.collapseZ(src, f, q)
 			}
 		}
 	}

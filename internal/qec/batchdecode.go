@@ -4,9 +4,9 @@ import (
 	mathbits "math/bits"
 )
 
-// batchCacheCap bounds the per-code syndrome memo so adversarial
-// workloads (huge codes under saturating faults) cannot grow it without
-// bound; beyond the cap lanes fall back to matching directly.
+// batchCacheCap bounds the per-code syndrome memos so adversarial
+// workloads (huge codes under saturating faults) cannot grow them
+// without bound; beyond the cap lanes fall back to decoding directly.
 const batchCacheCap = 1 << 16
 
 // DecodeBatch is the word-parallel counterpart of Decode: rec is a
@@ -26,10 +26,10 @@ const batchCacheCap = 1 << 16
 //  2. Triggered lanes exploit that the correction only enters the
 //     logical value through the parity of the matched flip set on the
 //     logical support, a pure function of the defect pattern. When the
-//     pattern fits in 64 bits (every 2-round repetition code) the
-//     blossom result is memoised per syndrome in a lock-free map, so
-//     repeated syndromes — the norm under a localised strike — cost a
-//     lookup instead of a matching.
+//     pattern fits in 64 bits (every 2-round repetition code and the
+//     paper's XXZZ grid) the blossom result is memoised per syndrome in
+//     a lock-free map, so repeated syndromes — the norm under a
+//     localised strike — cost a lookup instead of a matching.
 //  3. Only novel syndromes run the scalar blossom matcher, reusing the
 //     already-extracted defect words instead of re-deriving events from
 //     scalar bits.
@@ -38,6 +38,39 @@ const batchCacheCap = 1 << 16
 // (the memo stores Decode's own matching, so even tie-broken matchings
 // agree bit for bit).
 func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
+	return c.decodeBatch(rec, live, &c.mwpmMemo, func(defects []defect) uint64 {
+		return c.flipParity(c.matchDefects(defects))
+	})
+}
+
+// DecodeUnionFindBatch is the word-parallel counterpart of
+// DecodeUnionFind: identical detection-event extraction, fast path and
+// memoisation as DecodeBatch, with the union-find grower/peeler in
+// place of the blossom matcher on novel syndromes. Lane l of the result
+// always equals DecodeUnionFind of lane l's unpacked record.
+func (c *Code) DecodeUnionFindBatch(rec []uint64, live uint64) uint64 {
+	g := c.stGraphCached()
+	return c.decodeBatch(rec, live, &c.ufMemo, func(defects []defect) uint64 {
+		return c.flipParity(ufDecode(g, defects, c.Data.Size))
+	})
+}
+
+// flipParity folds a correction mask onto the logical support.
+func (c *Code) flipParity(flips []bool) uint64 {
+	var p uint64
+	for _, d := range c.logicalZ {
+		if flips[d] {
+			p ^= 1
+		}
+	}
+	return p
+}
+
+// decodeBatch is the decoder-agnostic word-parallel core shared by
+// DecodeBatch and DecodeUnionFindBatch: tiered extraction + memoisation
+// around a flip-parity oracle evaluated only on novel defect patterns.
+func (c *Code) decodeBatch(rec []uint64, live uint64, memo *batchMemo,
+	parityOf func(defects []defect) uint64) uint64 {
 	layers := len(c.CRounds) + 1
 	nz := len(c.zStabData)
 	// Uncorrected logical parity of every lane: the fast-path answer.
@@ -85,14 +118,14 @@ func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
 			for i, w := range defectWords {
 				key |= ((w >> lane) & 1) << uint(i)
 			}
-			if v, ok := c.batchMemo.Load(key); ok {
+			if v, ok := memo.m.Load(key); ok {
 				logical ^= v.(uint64) << lane
 				continue
 			}
 		}
 		// Defects in detectionEvents order (stabilizer-major, layer
-		// minor) so the matching — and therefore the decoded value — is
-		// bit-identical to Decode on the unpacked record.
+		// minor) so the correction — and therefore the decoded value —
+		// is bit-identical to the scalar decoder on the unpacked record.
 		defects = defects[:0]
 		for s := 0; s < nz; s++ {
 			for r := 0; r < layers; r++ {
@@ -101,24 +134,18 @@ func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
 				}
 			}
 		}
-		flips := c.matchDefects(defects)
-		var flipParity uint64
-		for _, d := range c.logicalZ {
-			if flips[d] {
-				flipParity ^= 1
-			}
-		}
+		flipParity := parityOf(defects)
 		// Reserve a slot before inserting so the map can never exceed
 		// the cap even when workers race past it; the reservation is
 		// released when it loses (cap hit, or another worker stored the
 		// same key first).
 		if cacheable {
-			if c.batchMemoSize.Add(1) <= batchCacheCap {
-				if _, loaded := c.batchMemo.LoadOrStore(key, flipParity); loaded {
-					c.batchMemoSize.Add(-1)
+			if memo.size.Add(1) <= batchCacheCap {
+				if _, loaded := memo.m.LoadOrStore(key, flipParity); loaded {
+					memo.size.Add(-1)
 				}
 			} else {
-				c.batchMemoSize.Add(-1)
+				memo.size.Add(-1)
 			}
 		}
 		logical ^= flipParity << lane
@@ -132,6 +159,10 @@ func (c *Code) RawLogicalBatch(rec []uint64, live uint64) uint64 {
 	return rec[c.AncRead.Start]
 }
 
-// batchMemoEntries reports the current syndrome-memo population (test
+// batchMemoEntries reports the current MWPM syndrome-memo population
+// (test hook).
+func (c *Code) batchMemoEntries() int64 { return c.mwpmMemo.size.Load() }
+
+// ufMemoEntries reports the union-find syndrome-memo population (test
 // hook).
-func (c *Code) batchMemoEntries() int64 { return c.batchMemoSize.Load() }
+func (c *Code) ufMemoEntries() int64 { return c.ufMemo.size.Load() }

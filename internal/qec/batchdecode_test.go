@@ -158,3 +158,65 @@ func BenchmarkDecodeBatchDense(b *testing.B) {
 		c.DecodeBatch(rec, ^uint64(0))
 	}
 }
+
+func checkUnionFindBatchMatches(t *testing.T, c *Code, words int, seed uint64) {
+	t.Helper()
+	src := rng.New(seed)
+	for w := 0; w < words; w++ {
+		rec := randomRecord(t, c, src)
+		got := c.DecodeUnionFindBatch(rec, ^uint64(0))
+		for lane := uint(0); lane < 64; lane++ {
+			want := c.DecodeUnionFind(unpackLane(rec, lane))
+			if int((got>>lane)&1) != want {
+				t.Fatalf("word %d lane %d: DecodeUnionFindBatch %d, DecodeUnionFind %d",
+					w, lane, (got>>lane)&1, want)
+			}
+		}
+	}
+}
+
+func TestDecodeUnionFindBatchMatchesScalarRepetition(t *testing.T) {
+	c, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnionFindBatchMatches(t, c, 4, 11)
+	if c.ufMemoEntries() == 0 {
+		t.Fatal("dense random syndromes never populated the union-find memo")
+	}
+	// A second pass decodes through the warm memo; equality must hold.
+	checkUnionFindBatchMatches(t, c, 4, 12)
+}
+
+func TestDecodeUnionFindBatchMatchesScalarXXZZ(t *testing.T) {
+	c, err := NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnionFindBatchMatches(t, c, 3, 21)
+}
+
+func TestDecoderMemosAreIndependent(t *testing.T) {
+	// MWPM and union-find disagree on some syndromes; sharing a memo
+	// would silently cross-contaminate them. Decode the same records
+	// with both and re-verify each against its scalar twin.
+	c, err := NewXXZZ(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	for w := 0; w < 3; w++ {
+		rec := randomRecord(t, c, src)
+		mwpm := c.DecodeBatch(rec, ^uint64(0))
+		uf := c.DecodeUnionFindBatch(rec, ^uint64(0))
+		for lane := uint(0); lane < 64; lane++ {
+			bits := unpackLane(rec, lane)
+			if int((mwpm>>lane)&1) != c.Decode(bits) {
+				t.Fatalf("word %d lane %d: MWPM memo contaminated", w, lane)
+			}
+			if int((uf>>lane)&1) != c.DecodeUnionFind(bits) {
+				t.Fatalf("word %d lane %d: union-find memo contaminated", w, lane)
+			}
+		}
+	}
+}

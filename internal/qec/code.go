@@ -57,13 +57,20 @@ type Code struct {
 	stg     *stGraph
 	stgOnce sync.Once
 
-	// batchMemo caches, per space-time defect pattern (packed into a
-	// uint64 key), the parity of the MWPM correction on the logical
-	// support — the only way the matching enters the decoded value. It
-	// is shared by every campaign decoding this code; batchMemoSize
-	// bounds it. See DecodeBatch.
-	batchMemo     sync.Map // uint64 -> uint64 (flip parity)
-	batchMemoSize atomic.Int64
+	// mwpmMemo and ufMemo cache, per space-time defect pattern (packed
+	// into a uint64 key), the parity of the decoder's correction on the
+	// logical support — the only way the correction enters the decoded
+	// value. Each decoder owns its memo (their corrections differ); both
+	// are shared by every campaign decoding this code. See DecodeBatch
+	// and DecodeUnionFindBatch.
+	mwpmMemo batchMemo
+	ufMemo   batchMemo
+}
+
+// batchMemo is a bounded lock-free syndrome-to-flip-parity cache.
+type batchMemo struct {
+	m    sync.Map // uint64 -> uint64 (flip parity)
+	size atomic.Int64
 }
 
 // NumQubits returns the total number of physical qubits in the circuit.

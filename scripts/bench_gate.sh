@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench_gate.sh OLD.bench NEW.bench [MAX_RATIO]
+#
+# Throughput-regression gate over two `go test -bench` text outputs
+# (the benchstat input format). For every benchmark name present in
+# BOTH files, the mean ns/op is compared; the gate fails when any
+# common benchmark's new/old time ratio exceeds MAX_RATIO (default
+# 1.25, i.e. a >20% throughput drop). Benchmarks only present on one
+# side — new benchmarks on a PR, retired ones on main — are reported
+# and skipped, never silently gated.
+set -euo pipefail
+
+old=${1:?usage: bench_gate.sh OLD.bench NEW.bench [MAX_RATIO]}
+new=${2:?usage: bench_gate.sh OLD.bench NEW.bench [MAX_RATIO]}
+max_ratio=${3:-1.25}
+
+awk -v max_ratio="$max_ratio" -v oldfile="$old" -v newfile="$new" '
+  # Benchmark result lines: "BenchmarkName-8  N  12345 ns/op  ...".
+  # CPU-count suffixes are stripped so the gate survives runner drift.
+  function benchname(s) { sub(/-[0-9]+$/, "", s); return s }
+  FNR == 1 { side = (FILENAME == oldfile) ? "old" : "new" }
+  /^Benchmark/ {
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") {
+        name = benchname($1)
+        sum[side, name] += $i
+        cnt[side, name]++
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+        break
+      }
+    }
+  }
+  END {
+    bad = 0
+    compared = 0
+    for (k = 1; k <= n; k++) {
+      name = order[k]
+      has_old = cnt["old", name] > 0
+      has_new = cnt["new", name] > 0
+      if (!has_old || !has_new) {
+        printf "SKIP  %-50s only on %s side\n", name, (has_old ? "old" : "new")
+        continue
+      }
+      compared++
+      o = sum["old", name] / cnt["old", name]
+      m = sum["new", name] / cnt["new", name]
+      ratio = m / o
+      verdict = (ratio > max_ratio) ? "FAIL" : "ok"
+      if (ratio > max_ratio) bad++
+      printf "%-5s %-50s old %12.0f ns/op  new %12.0f ns/op  ratio %.3f\n", \
+        verdict, name, o, m, ratio
+    }
+    if (n == 0) { print "bench_gate: no benchmark lines found" > "/dev/stderr"; exit 2 }
+    if (compared == 0) {
+      # A rename or -bench regex drift must not disable the gate
+      # silently: with zero common benchmarks there is nothing gated.
+      print "bench_gate: no benchmark common to both sides; gate cannot run" > "/dev/stderr"
+      exit 2
+    }
+    if (bad > 0) {
+      printf "bench_gate: %d benchmark(s) regressed beyond %.2fx\n", bad, max_ratio > "/dev/stderr"
+      exit 1
+    }
+    print "bench_gate: no regression beyond " max_ratio "x over " compared " benchmark(s)"
+  }
+' "$old" "$new"
