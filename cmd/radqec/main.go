@@ -6,7 +6,8 @@
 //	radqec [flags] <experiment>
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig8summary
-// ablation-decoder ablation-ns ablation-layout all
+// ablation-decoder ablation-ns ablation-layout ablation-rounds
+// memory threshold logical all
 //
 // Flags:
 //
@@ -15,6 +16,9 @@
 //	-workers N   parallel shot runners (default GOMAXPROCS)
 //	-p RATE      intrinsic physical error rate (default 0.01)
 //	-ns N        temporal samples of the fault decay (default 10)
+//	-rounds N    stabilization rounds per code (default 2, the paper's
+//	             protocol; >2 decodes over the multi-round space-time
+//	             detector-error model)
 //	-engine E    simulation engine: auto (default), tableau, frame, or
 //	             batch. auto runs every campaign on the bit-parallel
 //	             batched frame engine (universal over the Clifford set;
@@ -28,6 +32,8 @@
 //	             shot allocation per point (default off)
 //	-maxshots N  adaptive per-point shot cap (0 = worst-case count
 //	             guaranteeing -ci at any rate)
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof heap profile after the run to F
 //	-csv         emit CSV instead of aligned text
 //	-json        stream one JSON record per completed sweep point and
 //	             emit each table as a JSON record
@@ -40,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -76,6 +84,7 @@ func experiments() []experiment {
 		{"ablation-ns", "temporal sample count sweep", exp.AblationTemporalSamples, false},
 		{"ablation-layout", "initial layout strategy", exp.AblationLayout, true},
 		{"ablation-rounds", "stabilization round count sweep", exp.AblationRounds, false},
+		{"memory", "logical error vs rounds at fixed distance (space-time decoding)", exp.Memory, true},
 		{"threshold", "intrinsic-noise baseline by distance (no radiation)", exp.Threshold, false},
 		{"logical", "post-QEC logical-layer fault injection (future work)", exp.LogicalLayer, true},
 	}
@@ -119,8 +128,11 @@ func main() {
 	ns := flag.Int("ns", 10, "temporal samples of the fault decay")
 	engine := flag.String("engine", exp.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
 	decoder := flag.String("decoder", exp.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	rounds := flag.Int("rounds", 2, "stabilization rounds per code (>= 2; >2 opens the multi-round memory workload)")
 	ci := flag.Float64("ci", 0, "target Wilson 95% half-width per point (>0 enables adaptive shots)")
 	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the experiment run to this file")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "stream per-point JSON records and emit tables as JSON")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
@@ -141,12 +153,37 @@ func main() {
 	if !containsName(exp.Decoders(), *decoder) {
 		usageError(fmt.Sprintf("unknown decoder %q (want one of %v)", *decoder, exp.Decoders()))
 	}
+	// Numeric flags are validated the same way: a constraint violation
+	// is a usage error naming the constraint, never a deep panic or a
+	// silently degenerate campaign.
+	if *shots < 1 {
+		usageError(fmt.Sprintf("-shots %d out of range (want >= 1)", *shots))
+	}
+	if *p < 0 || *p > 1 {
+		usageError(fmt.Sprintf("-p %g out of range (want a probability in [0,1])", *p))
+	}
+	if *ns < 1 {
+		usageError(fmt.Sprintf("-ns %d out of range (want >= 1 temporal samples)", *ns))
+	}
+	if *rounds < 2 {
+		usageError(fmt.Sprintf("-rounds %d out of range (want >= 2 stabilization rounds)", *rounds))
+	}
+	if *workers < 0 {
+		usageError(fmt.Sprintf("-workers %d out of range (want >= 0; 0 = GOMAXPROCS)", *workers))
+	}
+	if *ci < 0 || *ci >= 0.5 {
+		usageError(fmt.Sprintf("-ci %g out of range (want 0 <= ci < 0.5; 0 disables adaptive shots)", *ci))
+	}
+	if *maxShots < 0 {
+		usageError(fmt.Sprintf("-maxshots %d out of range (want >= 0; 0 = worst-case count for -ci)", *maxShots))
+	}
 	cfg := exp.Config{
 		Shots:    *shots,
 		Seed:     *seed,
 		Workers:  *workers,
 		P:        *p,
 		NS:       *ns,
+		Rounds:   *rounds,
 		CI:       *ci,
 		MaxShots: *maxShots,
 		Engine:   *engine,
@@ -174,6 +211,43 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	// Profiling hooks for decode-path optimisation work, started only
+	// after experiment selection so no usage-error exit can strand an
+	// open profile: the CPU profile covers the experiment loop, the
+	// heap profile snapshots
+	// the end state (after a GC, so it shows live campaign structures,
+	// not transient shot buffers). Flushing runs through flushProfiles
+	// so fatal's os.Exit cannot leave a truncated CPU profile or skip
+	// the heap profile — an errored run is exactly when the profile is
+	// wanted.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPU := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		prev := flushProfiles
+		flushProfiles = func() {
+			stopCPU()
+			prev()
+		}
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		prev := flushProfiles
+		flushProfiles = func() {
+			prev()
+			writeHeapProfile(path)
+		}
+	}
+	defer flushOnce()
 	// The frame engines approximate radiation resets on superposed XXZZ
 	// sites (collapsed-branch coin; see package frame); say so once on
 	// stderr — only when a selected experiment actually enters that
@@ -256,7 +330,38 @@ func usage() {
 	flag.PrintDefaults()
 }
 
+// flushProfiles finalises any active profiling; flushOnce guards it so
+// the normal defer and an error exit cannot both run it.
+var (
+	flushProfiles = func() {}
+	flushed       bool
+)
+
+func flushOnce() {
+	if !flushed {
+		flushed = true
+		flushProfiles()
+	}
+}
+
+// writeHeapProfile snapshots the heap after a GC. Errors are reported
+// but do not recurse into fatal: the profile is best-effort on the way
+// out.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radqec:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "radqec:", err)
+	}
+}
+
 func fatal(err error) {
+	flushOnce()
 	fmt.Fprintln(os.Stderr, "radqec:", err)
 	os.Exit(1)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,12 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", core.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", core.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	flag.Parse()
+	if _, err := core.ResolveEngine(*engine); err != nil {
+		log.Fatal(err)
+	}
 	topologies := []string{"complete", "mesh", "almaden", "johannesburg", "cairo", "cambridge", "brooklyn", "linear"}
 
 	fmt.Printf("%-14s %8s %10s %12s %12s\n",
@@ -23,6 +30,8 @@ func main() {
 			Shots:           400,
 			Seed:            7,
 			TemporalSamples: 5,
+			Engine:          *engine,
+			Decoder:         *decoder,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,6 +15,12 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", core.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", core.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	flag.Parse()
+	if _, err := core.ResolveEngine(*engine); err != nil {
+		log.Fatal(err)
+	}
 	// Step 1: extract the per-patch fault model from a physical-level
 	// campaign on the XXZZ-(3,3) code.
 	sim, err := core.NewSimulator(core.Options{
@@ -21,6 +28,8 @@ func main() {
 		Topology: "mesh",
 		Shots:    2000,
 		Seed:     1,
+		Engine:   *engine,
+		Decoder:  *decoder,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,9 +1,15 @@
 // Quickstart: build a distance-5 repetition code, transpile it onto a
 // mesh device, strike physical qubit 2 with a radiation event and report
 // the post-decoding logical error rate per temporal sample.
+//
+// Engine and decoder selection route through the shared resolution
+// policy (core.ResolveEngine / core.ResolveDecoder inside the
+// simulator), so the default run rides the bit-parallel batched frame
+// engine exactly like the radqec CLI does.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,16 +17,28 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", core.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", core.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	rounds := flag.Int("rounds", 2, "stabilization rounds (>= 2)")
+	flag.Parse()
+
+	resolved, err := core.ResolveEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sim, err := core.NewSimulator(core.Options{
-		Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 5},
+		Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 5, Rounds: *rounds},
 		Topology: "mesh",
 		Shots:    2000,
 		Seed:     1,
+		Engine:   *engine,
+		Decoder:  *decoder,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("code:", sim.Code())
+	fmt.Printf("engine: %s (resolved from %q), decoder: %s\n", resolved, *engine, *decoder)
 	fmt.Println("device qubits:", sim.NumPhysicalQubits(),
 		"routing SWAPs:", sim.Transpiled().SwapCount)
 

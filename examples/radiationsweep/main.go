@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,6 +12,16 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", core.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", core.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	flag.Parse()
+	// Route selection through the shared policy up front so a typo
+	// fails before the sweep starts.
+	resolved, err := core.ResolveEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine %s, decoder %s\n", resolved, *decoder)
 	specs := []core.CodeSpec{
 		{Family: core.FamilyRepetition, DZ: 5},
 		{Family: core.FamilyXXZZ, DZ: 3, DX: 3},
@@ -32,6 +43,8 @@ func main() {
 				PhysicalErrorRate: p,
 				Shots:             2000,
 				Seed:              42,
+				Engine:            *engine,
+				Decoder:           *decoder,
 			})
 			if err != nil {
 				log.Fatal(err)

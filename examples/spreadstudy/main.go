@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,11 +16,19 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", core.EngineAuto, "simulation engine: auto, tableau, frame, or batch")
+	decoder := flag.String("decoder", core.DecoderMWPM, "syndrome decoder: mwpm or uf")
+	flag.Parse()
+	if _, err := core.ResolveEngine(*engine); err != nil {
+		log.Fatal(err)
+	}
 	sim, err := core.NewSimulator(core.Options{
 		Code:     core.CodeSpec{Family: core.FamilyRepetition, DZ: 15},
 		Topology: "mesh",
 		Shots:    1000,
 		Seed:     3,
+		Engine:   *engine,
+		Decoder:  *decoder,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -85,13 +85,18 @@ func ResolveDecoder(name string, code *qec.Code) (func(bits []int) int, frame.Ba
 	}
 }
 
-// CodeSpec selects a surface code and its distance tuple.
+// CodeSpec selects a surface code, its distance tuple and its memory
+// depth.
 type CodeSpec struct {
 	// Family is FamilyRepetition or FamilyXXZZ.
 	Family string
 	// DZ is the bit-flip protection distance; DX the phase-flip one.
 	// The repetition family ignores DX (it is fixed to 1).
 	DZ, DX int
+	// Rounds is the number of stabilization rounds (0 means the paper's
+	// 2; anything >= 2 opens the multi-round memory workload, decoded
+	// over the space-time detector-error model).
+	Rounds int
 }
 
 // Options configures a Simulator.
@@ -204,11 +209,15 @@ func NewSimulator(opts Options) (*Simulator, error) {
 		code *qec.Code
 		err  error
 	)
+	rounds := opts.Code.Rounds
+	if rounds == 0 {
+		rounds = 2
+	}
 	switch opts.Code.Family {
 	case FamilyRepetition:
-		code, err = qec.NewRepetition(opts.Code.DZ)
+		code, err = qec.NewRepetitionRounds(opts.Code.DZ, rounds)
 	case FamilyXXZZ:
-		code, err = qec.NewXXZZ(opts.Code.DZ, opts.Code.DX)
+		code, err = qec.NewXXZZRounds(opts.Code.DZ, opts.Code.DX, rounds)
 	default:
 		return nil, fmt.Errorf("core: unknown code family %q", opts.Code.Family)
 	}

@@ -239,3 +239,53 @@ func TestDecoderSelection(t *testing.T) {
 		t.Fatalf("MWPM (%.4f) should not be worse than union-find (%.4f)", mwpm.Rate(), uf.Rate())
 	}
 }
+
+func TestSimulatorRounds(t *testing.T) {
+	// Rounds flows from the spec into the built code, and multi-round
+	// campaigns run end-to-end on every engine/decoder combination over
+	// the space-time detector-error model.
+	for _, engine := range []string{EngineBatch, EngineFrame, EngineTableau} {
+		for _, decoder := range []string{DecoderMWPM, DecoderUF} {
+			sim, err := NewSimulator(Options{
+				Code:     CodeSpec{Family: FamilyRepetition, DZ: 5, Rounds: 5},
+				Topology: "mesh",
+				Shots:    256,
+				Seed:     3,
+				Engine:   engine,
+				Decoder:  decoder,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.Code().Rounds != 5 {
+				t.Fatalf("code built with %d rounds, want 5", sim.Code().Rounds)
+			}
+			res := sim.Clean()
+			if res.Shots != 256 {
+				t.Fatalf("%s/%s: incomplete campaign %+v", engine, decoder, res)
+			}
+			if res.Rate() > 0.2 {
+				t.Fatalf("%s/%s: 5-round clean campaign at default p errs %.2f", engine, decoder, res.Rate())
+			}
+		}
+	}
+	if _, err := NewSimulator(Options{
+		Code:     CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3, Rounds: 1},
+		Topology: "mesh",
+	}); err == nil {
+		t.Fatal("1-round spec accepted")
+	}
+}
+
+func TestSimulatorRoundsDefault(t *testing.T) {
+	sim, err := NewSimulator(Options{
+		Code:     CodeSpec{Family: FamilyXXZZ, DZ: 3, DX: 3},
+		Topology: "mesh",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Code().Rounds != 2 {
+		t.Fatalf("default rounds = %d, want the paper's 2", sim.Code().Rounds)
+	}
+}

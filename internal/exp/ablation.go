@@ -19,10 +19,10 @@ func AblationDecoder(cfg Config) (*Table, error) {
 		Header: []string{"code", "decoder", "logical_error"},
 	}
 	codes := []*qec.Code{}
-	if c, err := qec.NewRepetition(15); err == nil {
+	if c, err := cfg.repetition(15); err == nil {
 		codes = append(codes, c)
 	}
-	if c, err := qec.NewXXZZ(3, 3); err == nil {
+	if c, err := cfg.xxzz(3, 3); err == nil {
 		codes = append(codes, c)
 	}
 	topo := arch.Mesh(5, 6)
@@ -75,7 +75,7 @@ func AblationTemporalSamples(cfg Config) (*Table, error) {
 		Title:  "Ablation: temporal sample count ns",
 		Header: []string{"ns", "mean_logical_error_over_evolution"},
 	}
-	code, err := qec.NewRepetition(5)
+	code, err := cfg.repetition(5)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +148,7 @@ func AblationLayout(cfg Config) (*Table, error) {
 		Title:  "Ablation: initial layout strategy (routing overhead)",
 		Header: []string{"code", "architecture", "layout", "swaps", "logical_error_at_impact"},
 	}
-	code, err := qec.NewXXZZ(3, 3)
+	code, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}

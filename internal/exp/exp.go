@@ -86,6 +86,20 @@ type Config struct {
 	// means DecoderMWPM. Unrecognised names panic like Engine; the CLI
 	// validates its flag first.
 	Decoder string
+	// Rounds is the number of stabilization rounds every figure builds
+	// its codes with (0 means the paper's 2). The memory experiment
+	// sweeps rounds itself and treats this as the sweep's deepest point.
+	Rounds int
+}
+
+// repetition builds the repetition code at the configured memory depth.
+func (c Config) repetition(d int) (*qec.Code, error) {
+	return qec.NewRepetitionRounds(d, c.Rounds)
+}
+
+// xxzz builds the XXZZ code at the configured memory depth.
+func (c Config) xxzz(dZ, dX int) (*qec.Code, error) {
+	return qec.NewXXZZRounds(dZ, dX, c.Rounds)
 }
 
 // DecoderName returns the decoder that will actually decode the
@@ -109,6 +123,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.NS <= 0 {
 		c.NS = noise.DefaultSamples
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
 	}
 	return c
 }

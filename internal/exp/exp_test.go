@@ -587,3 +587,80 @@ func TestFig8SummaryRunsSmall(t *testing.T) {
 		t.Fatalf("fig8 rows = %d", len(tab.Rows))
 	}
 }
+
+func TestMemoryExperiment(t *testing.T) {
+	cfg := quickCfg
+	cfg.Shots = 128
+	tab, err := Memory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("memory table is empty")
+	}
+	// Every entry's sweep must include the paper's 2 rounds and the
+	// rounds=d memory point, and deepening the memory must not shrink
+	// the impact-column error for the repetition families.
+	sawRounds := map[string]map[string]bool{}
+	for _, row := range tab.Rows {
+		code, rounds := row[1], row[2]
+		if sawRounds[code] == nil {
+			sawRounds[code] = map[string]bool{}
+		}
+		sawRounds[code][rounds] = true
+	}
+	for code, want := range map[string]string{
+		"rep-(5,1)": "5", "rep-(9,1)": "9", "xxzz-(3,3)": "3",
+	} {
+		if !sawRounds[code]["2"] {
+			t.Fatalf("%s sweep misses the 2-round baseline: %v", code, sawRounds[code])
+		}
+		if !sawRounds[code][want] {
+			t.Fatalf("%s sweep misses the rounds=d point: %v", code, sawRounds[code])
+		}
+	}
+}
+
+func TestMemoryRoundsSweep(t *testing.T) {
+	cfg := Config{Rounds: 11}.Defaults()
+	rounds := memoryRounds(cfg, 5)
+	seen := map[int]bool{}
+	last := 1
+	for _, r := range rounds {
+		if r <= last {
+			t.Fatalf("rounds not strictly increasing: %v", rounds)
+		}
+		last = r
+		seen[r] = true
+	}
+	for _, want := range []int{2, 5, 11} {
+		if !seen[want] {
+			t.Fatalf("rounds sweep %v misses %d", rounds, want)
+		}
+	}
+}
+
+func TestConfigRoundsFlowsIntoFigureCodes(t *testing.T) {
+	cfg := quickCfg
+	cfg.Rounds = 3
+	cfg.Shots = 64
+	cfg = cfg.Defaults()
+	c, err := cfg.repetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds != 3 {
+		t.Fatalf("cfg.repetition built %d rounds, want 3", c.Rounds)
+	}
+	x, err := cfg.xxzz(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rounds != 3 {
+		t.Fatalf("cfg.xxzz built %d rounds, want 3", x.Rounds)
+	}
+	// A full figure runs end-to-end at 3 rounds.
+	if _, err := Threshold(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,11 +35,11 @@ func Fig5(cfg Config) (*Table, error) {
 		code *qec.Code
 		topo arch.Topology
 	}
-	rep, err := qec.NewRepetition(5)
+	rep, err := cfg.repetition(5)
 	if err != nil {
 		return nil, err
 	}
-	xxzz, err := qec.NewXXZZ(3, 3)
+	xxzz, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}

@@ -28,14 +28,14 @@ func Fig6(cfg Config) (*Table, error) {
 	}
 	var entries []entry
 	for _, d := range qec.RepetitionDistances() {
-		c, err := qec.NewRepetition(d)
+		c, err := cfg.repetition(d)
 		if err != nil {
 			return nil, err
 		}
 		entries = append(entries, entry{"repetition", c})
 	}
 	for _, dd := range qec.XXZZDistances() {
-		c, err := qec.NewXXZZ(dd[0], dd[1])
+		c, err := cfg.xxzz(dd[0], dd[1])
 		if err != nil {
 			return nil, err
 		}

@@ -31,11 +31,11 @@ func Fig7(cfg Config) (*Table, error) {
 		code *qec.Code
 		ks   []int
 	}
-	rep, err := qec.NewRepetition(15)
+	rep, err := cfg.repetition(15)
 	if err != nil {
 		return nil, err
 	}
-	xxzz, err := qec.NewXXZZ(3, 3)
+	xxzz, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}

@@ -53,11 +53,11 @@ func Fig8(cfg Config) (*Table, error) {
 		code  *qec.Code
 		topos []arch.Topology
 	}
-	rep, err := qec.NewRepetition(11)
+	rep, err := cfg.repetition(11)
 	if err != nil {
 		return nil, err
 	}
-	xxzz, err := qec.NewXXZZ(3, 3)
+	xxzz, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}
@@ -107,11 +107,11 @@ func Fig8Summary(cfg Config) (*Table, error) {
 		code  *qec.Code
 		topos []arch.Topology
 	}
-	rep, err := qec.NewRepetition(11)
+	rep, err := cfg.repetition(11)
 	if err != nil {
 		return nil, err
 	}
-	xxzz, err := qec.NewXXZZ(3, 3)
+	xxzz, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}

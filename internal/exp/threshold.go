@@ -5,7 +5,6 @@ import (
 
 	"radqec/internal/arch"
 	"radqec/internal/noise"
-	"radqec/internal/qec"
 )
 
 // Threshold sweeps the intrinsic physical error rate without any
@@ -25,7 +24,7 @@ func Threshold(cfg Config) (*Table, error) {
 	topo := arch.Mesh(5, 6)
 	var prepped []*prepared
 	for _, d := range distances {
-		code, err := qec.NewRepetition(d)
+		code, err := cfg.repetition(d)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +71,7 @@ func LogicalLayer(cfg Config) (*Table, error) {
 		Header: []string{"workload", "struck_patch", "failure_rate", "no_strike_baseline"},
 	}
 	// Extract the physical-level impact error of one patch.
-	code, err := qec.NewXXZZ(3, 3)
+	code, err := cfg.xxzz(3, 3)
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,14 @@ func (s *BatchSimulator) NewBatchState() *BatchState {
 	}
 }
 
+// Record returns the packed classical bits of one register as a shared
+// subslice of the full record — e.g. one stabilization round's syndrome
+// words (a qec CRounds register), ready to be XOR-differenced against
+// the neighbouring round word-parallel for detection-event extraction.
+func (st *BatchState) Record(r circuit.Register) []uint64 {
+	return st.Rec[r.Start : r.Start+r.Size]
+}
+
 // Clear zeroes the state for reuse.
 func (st *BatchState) Clear() {
 	for i := range st.x {

@@ -418,3 +418,40 @@ func TestLaneDecodeMatchesWordDecoderXXZZ(t *testing.T) {
 		}
 	}
 }
+
+func TestPerRoundPackedRecordsFeedDetectionEvents(t *testing.T) {
+	// The per-round packed records exposed by BatchState.Record are the
+	// inputs of word-parallel detection-event extraction: XOR-differencing
+	// consecutive rounds (plus the recomputed final syndrome) must
+	// reproduce qec's own extraction bit for bit on a multi-round code.
+	code, err := qec.NewRepetitionRounds(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewBatch(code.Circ, noise.NewDepolarizing(0.05), nil, 7)
+	st := sim.NewBatchState()
+	sim.RunWord(rng.New(3), st)
+
+	nz := code.NumZStabs()
+	layers := code.Rounds + 1
+	manual := make([]uint64, nz*layers)
+	for s := 0; s < nz; s++ {
+		prev := uint64(0)
+		for r := 0; r < code.Rounds; r++ {
+			cur := st.Record(code.CRounds[r])[s]
+			manual[s*layers+r] = prev ^ cur
+			prev = cur
+		}
+		final := uint64(0)
+		for _, d := range code.ZStabilizers()[s] {
+			final ^= st.Record(code.DataRead)[d]
+		}
+		manual[s*layers+layers-1] = prev ^ final
+	}
+	want, _ := code.DetectionEventWords(st.Rec, nil)
+	for i := range manual {
+		if manual[i] != want[i] {
+			t.Fatalf("detection word %d: manual %x, DetectionEventWords %x", i, manual[i], want[i])
+		}
+	}
+}

@@ -9,6 +9,9 @@ import (
 // without bound; beyond the cap lanes fall back to decoding directly.
 const batchCacheCap = 1 << 16
 
+// memoKey packs a space-time defect pattern of up to 128 detector bits.
+type memoKey [2]uint64
+
 // DecodeBatch is the word-parallel counterpart of Decode: rec is a
 // bit-packed classical record where rec[c] holds classical bit c of 64
 // concurrent shots ("lanes"), and the result word holds the decoded
@@ -26,19 +29,20 @@ const batchCacheCap = 1 << 16
 //  2. Triggered lanes exploit that the correction only enters the
 //     logical value through the parity of the matched flip set on the
 //     logical support, a pure function of the defect pattern. When the
-//     pattern fits in 64 bits (every 2-round repetition code and the
-//     paper's XXZZ grid) the blossom result is memoised per syndrome in
-//     a lock-free map, so repeated syndromes — the norm under a
-//     localised strike — cost a lookup instead of a matching.
-//  3. Only novel syndromes run the scalar blossom matcher, reusing the
-//     already-extracted defect words instead of re-deriving events from
-//     scalar bits.
+//     pattern fits in 128 bits (the whole 2-round family and memory
+//     campaigns out to stabs·(rounds+1) <= 128) the blossom result is
+//     memoised per syndrome in a lock-free map, so repeated syndromes —
+//     the norm under a localised strike — cost a lookup instead of a
+//     matching.
+//  3. Only novel syndromes run the scalar blossom matcher over the
+//     compiled detector-error model, reusing the already-extracted
+//     defect words instead of re-deriving events from scalar bits.
 //
 // Lane l of the result always equals Decode of lane l's unpacked record
 // (the memo stores Decode's own matching, so even tie-broken matchings
 // agree bit for bit).
 func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
-	return c.decodeBatch(rec, live, &c.mwpmMemo, func(defects []defect) uint64 {
+	return c.decodeBatch(rec, live, c.mwpmMemo, func(defects []defect) uint64 {
 		return c.flipParity(c.matchDefects(defects))
 	})
 }
@@ -49,9 +53,9 @@ func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
 // place of the blossom matcher on novel syndromes. Lane l of the result
 // always equals DecodeUnionFind of lane l's unpacked record.
 func (c *Code) DecodeUnionFindBatch(rec []uint64, live uint64) uint64 {
-	g := c.stGraphCached()
-	return c.decodeBatch(rec, live, &c.ufMemo, func(defects []defect) uint64 {
-		return c.flipParity(ufDecode(g, defects, c.Data.Size))
+	m := c.DEM()
+	return c.decodeBatch(rec, live, c.ufMemo, func(defects []defect) uint64 {
+		return c.flipParity(ufDecode(m, defects, c.Data.Size))
 	})
 }
 
@@ -64,6 +68,44 @@ func (c *Code) flipParity(flips []bool) uint64 {
 		}
 	}
 	return p
+}
+
+// DetectionEventWords extracts the word-parallel detection events of a
+// packed record into dst (length NumZStabs·(Rounds+1), grown when
+// needed): dst[s·layers+r] holds the layer-r detection bit of Z
+// stabilizer s for all 64 lanes — round 0 XORed against the expected
+// all-zero syndrome, consecutive rounds XOR-differenced, and the last
+// round against the syndrome recomputed from the packed data readout.
+// The second return value ORs every detection word (zero means no lane
+// saw any defect). This is the extraction tier DecodeBatch runs; it is
+// exported so diagnostics and tests can observe detection events
+// without decoding.
+func (c *Code) DetectionEventWords(rec []uint64, dst []uint64) ([]uint64, uint64) {
+	layers := len(c.CRounds) + 1
+	nz := len(c.zStabData)
+	if cap(dst) < nz*layers {
+		dst = make([]uint64, nz*layers)
+	}
+	dst = dst[:nz*layers]
+	var any uint64
+	for s, datas := range c.zStabData {
+		prev := uint64(0)
+		for r, creg := range c.CRounds {
+			cur := rec[creg.Start+s]
+			d := prev ^ cur
+			dst[s*layers+r] = d
+			any |= d
+			prev = cur
+		}
+		final := uint64(0)
+		for _, dq := range datas {
+			final ^= rec[c.DataRead.Start+dq]
+		}
+		d := prev ^ final
+		dst[s*layers+layers-1] = d
+		any |= d
+	}
+	return dst, any
 }
 
 // decodeBatch is the decoder-agnostic word-parallel core shared by
@@ -81,43 +123,39 @@ func (c *Code) decodeBatch(rec []uint64, live uint64, memo *batchMemo,
 	if nz == 0 {
 		return logical
 	}
-	// Word-parallel detection events: defectWords[s*layers+r] holds the
-	// layer-r detection bit of stabilizer s for all 64 lanes, mirroring
-	// detectionEvents exactly (round 0 vs all-zero, consecutive-round
-	// differences, last round vs the data-readout syndrome).
-	defectWords := make([]uint64, nz*layers)
-	var any uint64
-	for s, datas := range c.zStabData {
-		prev := uint64(0)
-		for r, creg := range c.CRounds {
-			cur := rec[creg.Start+s]
-			d := prev ^ cur
-			defectWords[s*layers+r] = d
-			any |= d
-			prev = cur
-		}
-		final := uint64(0)
-		for _, dq := range datas {
-			final ^= rec[c.DataRead.Start+dq]
-		}
-		d := prev ^ final
-		defectWords[s*layers+layers-1] = d
-		any |= d
-	}
-	slow := any & live
+	// Word-parallel detection events, mirroring detectionEvents exactly.
+	defectWords, anyDefect := c.DetectionEventWords(rec, nil)
+	slow := anyDefect & live
 	if slow == 0 {
 		return logical
 	}
-	cacheable := nz*layers <= 64
+	// Key width is fixed per code, so the two key shapes never mix in
+	// one memo: up to 64 detector bits use a bare uint64 (the cheaper
+	// boxing and hash on the 2-round hot path), up to 128 the two-word
+	// key that keeps memory-depth campaigns cached.
+	nbits := nz * layers
+	cache64 := nbits <= 64
+	cache128 := !cache64 && nbits <= 128
+	cacheable := cache64 || cache128
 	var defects []defect
 	for m := slow; m != 0; m &= m - 1 {
 		lane := uint(mathbits.TrailingZeros64(m))
 		mask := uint64(1) << lane
-		var key uint64
-		if cacheable {
+		var key any
+		if cache64 {
+			var k uint64
 			for i, w := range defectWords {
-				key |= ((w >> lane) & 1) << uint(i)
+				k |= ((w >> lane) & 1) << uint(i)
 			}
+			key = k
+		} else if cache128 {
+			var k memoKey
+			for i, w := range defectWords {
+				k[i>>6] |= ((w >> lane) & 1) << uint(i&63)
+			}
+			key = k
+		}
+		if cacheable {
 			if v, ok := memo.m.Load(key); ok {
 				logical ^= v.(uint64) << lane
 				continue

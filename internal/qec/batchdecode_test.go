@@ -65,16 +65,47 @@ func TestDecodeBatchMatchesDecodeXXZZ(t *testing.T) {
 }
 
 func TestDecodeBatchMatchesDecodeManyRounds(t *testing.T) {
-	// 14 stabilizers x 7 layers = 98 defect bits: too wide for the memo
-	// key, exercising the uncached fallback.
+	// 14 stabilizers x 7 layers = 98 defect bits: beyond the old 64-bit
+	// memo key but inside the 128-bit one, so memory-depth campaigns out
+	// to stabs·(rounds+1) <= 128 still ride the syndrome cache.
 	c, err := NewRepetitionRounds(15, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkDecodeBatchMatches(t, c, 2, 31)
+	if c.batchMemoEntries() == 0 {
+		t.Fatal("98-bit defect patterns never populated the 128-bit memo")
+	}
+}
+
+func TestDecodeBatchMatchesDecodeUncacheableRounds(t *testing.T) {
+	// 14 stabilizers x 10 layers = 140 defect bits: too wide even for
+	// the 128-bit key, exercising the uncached fallback.
+	c, err := NewRepetitionRounds(15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecodeBatchMatches(t, c, 1, 37)
 	if c.batchMemoEntries() != 0 {
 		t.Fatal("uncacheable code populated the memo")
 	}
+}
+
+func TestUnionFindBatchMatchesScalarManyRounds(t *testing.T) {
+	// Multi-round lane equality for the union-find twin, through the
+	// 128-bit memo (5-round rep-9: 8 stabs x 6 layers = 48 bits) and
+	// past it (uncached xxzz case below is covered by the MWPM test's
+	// shared core).
+	c, err := NewRepetitionRounds(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnionFindBatchMatches(t, c, 2, 41)
+	x, err := NewXXZZRounds(3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnionFindBatchMatches(t, x, 2, 43)
 }
 
 func TestDecodeBatchZeroSyndromeFastPath(t *testing.T) {
@@ -218,5 +249,54 @@ func TestDecoderMemosAreIndependent(t *testing.T) {
 				t.Fatalf("word %d lane %d: union-find memo contaminated", w, lane)
 			}
 		}
+	}
+}
+
+func BenchmarkDecodeBatchSpacetime(b *testing.B) {
+	// Multi-round decoding over the space-time DEM: rep-9 at rounds=9
+	// (the canonical rounds=d memory point) under moderately dense
+	// random syndromes, through the 128-bit memo.
+	c, err := NewRepetitionRounds(9, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(13)
+	rec := make([]uint64, c.Circ.NumClbits)
+	for i := range rec {
+		rec[i] = src.Uint64() & src.Uint64() & src.Uint64() // ~12.5% bit density
+	}
+	c.DEM() // compile outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeBatch(rec, ^uint64(0))
+	}
+}
+
+func BenchmarkDecodeUnionFindBatchSpacetime(b *testing.B) {
+	c, err := NewRepetitionRounds(9, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(13)
+	rec := make([]uint64, c.Circ.NumClbits)
+	for i := range rec {
+		rec[i] = src.Uint64() & src.Uint64() & src.Uint64()
+	}
+	c.DEM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeUnionFindBatch(rec, ^uint64(0))
+	}
+}
+
+func BenchmarkDEMCompile(b *testing.B) {
+	// One-time compile cost of a deep-memory model (amortised across a
+	// whole campaign in practice; benched so it stays one-time-sized).
+	for i := 0; i < b.N; i++ {
+		c, err := NewRepetitionRounds(15, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.DEM()
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"radqec/internal/circuit"
+	"radqec/internal/dem"
 )
 
 // Code is a decodable QEC circuit instance.
@@ -50,21 +51,24 @@ type Code struct {
 	// logicalZ lists register-local data indices supporting the logical
 	// Z operator; the decoded logical value is their corrected parity.
 	logicalZ []int
-	// zGraph is the pre-computed matching geometry for bit-flip decode.
-	zGraph *decodeGraph
-	// stg is the lazily-built space-time graph for union-find decoding,
-	// guarded by stgOnce so concurrent campaign workers share one build.
-	stg     *stGraph
-	stgOnce sync.Once
+	// dm is the lazily-compiled detector-error model every decoder view
+	// (MWPM/union-find, scalar/batch) runs against; demMu guards the
+	// compile so concurrent campaign workers share one build. prior is
+	// the noise prior the model was (or will be) compiled with; its zero
+	// value is the unit prior. See DEM and SetPrior.
+	dm    atomic.Pointer[dem.Model]
+	demMu sync.Mutex
+	prior dem.Prior
 
 	// mwpmMemo and ufMemo cache, per space-time defect pattern (packed
-	// into a uint64 key), the parity of the decoder's correction on the
+	// into a 128-bit key), the parity of the decoder's correction on the
 	// logical support — the only way the correction enters the decoded
 	// value. Each decoder owns its memo (their corrections differ); both
-	// are shared by every campaign decoding this code. See DecodeBatch
-	// and DecodeUnionFindBatch.
-	mwpmMemo batchMemo
-	ufMemo   batchMemo
+	// are shared by every campaign decoding this code, and SetPrior
+	// replaces them (cached parities belong to the compiled model). See
+	// DecodeBatch and DecodeUnionFindBatch.
+	mwpmMemo *batchMemo
+	ufMemo   *batchMemo
 }
 
 // batchMemo is a bounded lock-free syndrome-to-flip-parity cache.
@@ -134,6 +138,8 @@ func (c *Code) stabRound(creg circuit.Register) {
 // transversal X, which is applied between the first and second round
 // exactly as in the paper's protocol.
 func (c *Code) finishCircuit(logicalXSupport []int) {
+	c.mwpmMemo = &batchMemo{}
+	c.ufMemo = &batchMemo{}
 	circ := c.Circ
 	c.stabRound(c.CRounds[0])
 	circ.Barrier()

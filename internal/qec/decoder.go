@@ -1,151 +1,119 @@
 package qec
 
 import (
+	"fmt"
+	"math"
+
+	"radqec/internal/dem"
 	"radqec/internal/matching"
 )
 
-// decodeGraph is the pre-computed matching geometry of the bit-flip
-// (Z-stabilizer) syndrome lattice: spatial distances between
-// stabilizers, their distances to the open boundary, and the data-qubit
-// flip sets realising those shortest paths.
-type decodeGraph struct {
-	numStabs int
-	// dist[i][j] is the spatial distance (number of data qubits on a
-	// minimal error chain) between Z stabilizers i and j.
-	dist [][]int
-	// bdist[i] is the distance from stabilizer i to the nearest open
-	// boundary.
-	bdist []int
-	// pathData[i][j] lists the register-local data qubits flipped by a
-	// minimal chain between stabilizers i and j.
-	pathData [][][]int
-	// bpathData[i] is the flip set of a minimal chain from stabilizer i
-	// to the boundary.
-	bpathData [][]int
+// DEM returns the code's compiled detector-error model, building it on
+// first use (with the unit prior unless SetPrior installed another one).
+// Safe for concurrent use by campaign workers; the compiled model is
+// shared by every decoder view of the code.
+func (c *Code) DEM() *dem.Model {
+	if m := c.dm.Load(); m != nil {
+		return m
+	}
+	c.demMu.Lock()
+	defer c.demMu.Unlock()
+	if m := c.dm.Load(); m != nil {
+		return m
+	}
+	m, err := dem.Compile(dem.Spec{
+		Stabs:   c.zStabData,
+		NumData: c.Data.Size,
+		Rounds:  c.Rounds,
+		Prior:   c.prior,
+	})
+	if err != nil {
+		// Spec fields come from a successfully-built code; a compile
+		// failure is a programmer error, like the probability guards in
+		// package noise.
+		panic(fmt.Sprintf("qec: DEM compile failed for %s: %v", c.Name, err))
+	}
+	c.dm.Store(m)
+	return m
 }
 
-// buildDecodeGraph derives the matching geometry from the stabilizer
-// supports. Two stabilizers are adjacent when they share a data qubit
-// (chain weight one); a data qubit covered by exactly one stabilizer
-// links that stabilizer to the open boundary.
-func buildDecodeGraph(stabData [][]int, numData int) *decodeGraph {
-	n := len(stabData)
-	g := &decodeGraph{
-		numStabs:  n,
-		dist:      make([][]int, n),
-		bdist:     make([]int, n),
-		pathData:  make([][][]int, n),
-		bpathData: make([][]int, n),
+// SetPrior recompiles the code's detector-error model against the given
+// noise prior (see dem.Prior; the zero value restores the unit prior)
+// and resets the batch syndrome memos, which cache decoder outputs of
+// the previous model. Call it before campaigns start; it is not
+// synchronised against in-flight decodes.
+func (c *Code) SetPrior(pr dem.Prior) error {
+	c.demMu.Lock()
+	defer c.demMu.Unlock()
+	m, err := dem.Compile(dem.Spec{
+		Stabs:   c.zStabData,
+		NumData: c.Data.Size,
+		Rounds:  c.Rounds,
+		Prior:   pr,
+	})
+	if err != nil {
+		return err
 	}
-	// owner[d] lists stabilizers covering data qubit d.
-	owner := make([][]int, numData)
-	for s, datas := range stabData {
+	c.prior = pr
+	c.dm.Store(m)
+	c.mwpmMemo = &batchMemo{}
+	c.ufMemo = &batchMemo{}
+	return nil
+}
+
+// NoisePrior derives a detector-error-model prior from a uniform
+// depolarizing rate p by counting the error sites feeding each
+// mechanism: a data qubit accumulates one depolarizing site per
+// stabilizer touching it per round (each with X-component probability
+// 2p/3), and a stabilizer's measurement chain accumulates one site per
+// support qubit plus the measure and reset ops. Independent sites
+// XOR-combine as q = (1 - prod(1-2q_i))/2.
+func (c *Code) NoisePrior(p float64) dem.Prior {
+	site := 2 * p / 3 // X-component probability of one depolarizing site
+	combine := func(sites int) float64 {
+		return (1 - math.Pow(1-2*site, float64(sites))) / 2
+	}
+	pr := dem.Prior{
+		DataFlip: make([]float64, c.Data.Size),
+		MeasFlip: make([]float64, len(c.zStabData)),
+	}
+	touches := make([]int, c.Data.Size)
+	for _, datas := range c.zStabData {
 		for _, d := range datas {
-			owner[d] = append(owner[d], s)
+			touches[d]++
 		}
 	}
-	// Adjacency with the data qubit labelling each edge. Node n is the
-	// boundary.
-	type edge struct{ to, via int }
-	adj := make([][]edge, n+1)
-	for d, ss := range owner {
-		switch len(ss) {
-		case 1:
-			adj[ss[0]] = append(adj[ss[0]], edge{n, d})
-			adj[n] = append(adj[n], edge{ss[0], d})
-		case 2:
-			adj[ss[0]] = append(adj[ss[0]], edge{ss[1], d})
-			adj[ss[1]] = append(adj[ss[1]], edge{ss[0], d})
+	for _, datas := range c.xStabData {
+		for _, d := range datas {
+			touches[d]++
 		}
 	}
-	// BFS from every stabilizer over stabilizer nodes only (the
-	// boundary never shortcuts a stabilizer-to-stabilizer chain: a chain
-	// through the boundary is expressed as two boundary matches by the
-	// matcher instead).
-	for src := 0; src < n; src++ {
-		dist := make([]int, n)
-		prev := make([]int, n)
-		prevVia := make([]int, n)
-		for i := range dist {
-			dist[i] = -1
-			prev[i] = -1
+	for d, n := range touches {
+		if n < 1 {
+			n = 1
 		}
-		dist[src] = 0
-		queue := []int{src}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, e := range adj[u] {
-				if e.to == n || dist[e.to] != -1 {
-					continue
-				}
-				dist[e.to] = dist[u] + 1
-				prev[e.to] = u
-				prevVia[e.to] = e.via
-				queue = append(queue, e.to)
-			}
-		}
-		g.dist[src] = dist
-		g.pathData[src] = make([][]int, n)
-		for dst := 0; dst < n; dst++ {
-			if dist[dst] <= 0 {
-				continue
-			}
-			var flips []int
-			for v := dst; v != src; v = prev[v] {
-				flips = append(flips, prevVia[v])
-			}
-			g.pathData[src][dst] = flips
-		}
+		pr.DataFlip[d] = combine(n)
 	}
-	// BFS from the boundary for boundary distances and flip sets.
-	{
-		dist := make([]int, n+1)
-		prev := make([]int, n+1)
-		prevVia := make([]int, n+1)
-		for i := range dist {
-			dist[i] = -1
-			prev[i] = -1
-		}
-		dist[n] = 0
-		queue := []int{n}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, e := range adj[u] {
-				if dist[e.to] != -1 {
-					continue
-				}
-				dist[e.to] = dist[u] + 1
-				prev[e.to] = u
-				prevVia[e.to] = e.via
-				queue = append(queue, e.to)
-			}
-		}
-		for s := 0; s < n; s++ {
-			g.bdist[s] = dist[s]
-			if dist[s] > 0 {
-				var flips []int
-				for v := s; v != n; v = prev[v] {
-					flips = append(flips, prevVia[v])
-				}
-				g.bpathData[s] = flips
-			}
-		}
+	for s, datas := range c.zStabData {
+		pr.MeasFlip[s] = combine(len(datas) + 2)
 	}
-	return g
+	return pr
 }
 
 // defect is one detection event in the space-time syndrome history.
 type defect struct {
 	stab  int // Z stabilizer index
-	round int // detection round: 0, 1 or 2
+	round int // detection layer: 0 .. Rounds
 }
 
 // Decode runs the MWPM decoder over a shot's classical record and
 // returns the corrected logical value (0 or 1). The record layout is the
-// one produced by the code builders: C0 and C1 hold the two syndrome
-// rounds, DataRead the final per-data-qubit measurements.
+// one produced by the code builders: CRounds hold the syndrome rounds,
+// DataRead the final per-data-qubit measurements. Matching runs on the
+// compiled detector-error model: edge weights are the cached space-time
+// shortest-path weights between detection events (log-likelihood
+// weighted; all equal under the default unit prior), and corrections
+// are the flattened flip sets of the matched chains.
 func (c *Code) Decode(bits []int) int {
 	defects := c.detectionEvents(bits)
 	flips := c.matchDefects(defects)
@@ -156,9 +124,7 @@ func (c *Code) Decode(bits []int) int {
 // correction model, but greedy matching instead of blossom.
 func (c *Code) DecodeGreedy(bits []int) int {
 	defects := c.detectionEvents(bits)
-	flips := c.matchDefectsWith(defects, func(n int, edges []matching.Edge) ([][2]int, error) {
-		return matching.GreedyPerfectMatching(n, edges)
-	})
+	flips := c.matchDefectsWith(defects, matching.GreedyPerfectMatching)
 	return c.logicalValue(bits, flips)
 }
 
@@ -201,25 +167,21 @@ func (c *Code) matchDefectsWith(defects []defect, match func(int, []matching.Edg
 	if nd == 0 {
 		return flips
 	}
-	g := c.zGraph
+	m := c.DEM()
 	// Nodes 0..nd-1 are defects; nd..2nd-1 their private boundary
 	// images. Boundary images interconnect at zero cost so unused ones
 	// pair among themselves.
 	var edges []matching.Edge
 	for i := 0; i < nd; i++ {
 		for j := i + 1; j < nd; j++ {
-			ds := g.dist[defects[i].stab][defects[j].stab]
-			if ds < 0 {
+			w := m.Dist(defects[i].stab, defects[i].round, defects[j].stab, defects[j].round)
+			if w < 0 {
 				continue
 			}
-			dt := defects[i].round - defects[j].round
-			if dt < 0 {
-				dt = -dt
-			}
-			edges = append(edges, matching.Edge{I: i, J: j, W: int64(ds + dt)})
+			edges = append(edges, matching.Edge{I: i, J: j, W: w})
 		}
-		if bd := g.bdist[defects[i].stab]; bd >= 0 {
-			edges = append(edges, matching.Edge{I: i, J: nd + i, W: int64(bd)})
+		if bw := m.BoundaryDist(defects[i].stab); bw >= 0 {
+			edges = append(edges, matching.Edge{I: i, J: nd + i, W: bw})
 		}
 		for j := i + 1; j < nd; j++ {
 			edges = append(edges, matching.Edge{I: nd + i, J: nd + j, W: 0})
@@ -236,11 +198,11 @@ func (c *Code) matchDefectsWith(defects []defect, match func(int, []matching.Edg
 		i, j := p[0], p[1]
 		switch {
 		case i < nd && j < nd:
-			for _, d := range g.pathData[defects[i].stab][defects[j].stab] {
+			for _, d := range m.PathFlips(defects[i].stab, defects[j].stab) {
 				flips[d] = !flips[d]
 			}
 		case i < nd && j >= nd:
-			for _, d := range g.bpathData[defects[i].stab] {
+			for _, d := range m.BoundaryFlips(defects[i].stab) {
 				flips[d] = !flips[d]
 			}
 		}

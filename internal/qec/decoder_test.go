@@ -1,41 +1,64 @@
 package qec
 
-import "testing"
+import (
+	"testing"
 
-func TestDecodeGraphRepetitionGeometry(t *testing.T) {
-	c := mustRep(t, 5)
-	g := c.zGraph
-	if g.numStabs != 4 {
-		t.Fatalf("numStabs = %d", g.numStabs)
+	"radqec/internal/rng"
+)
+
+// unitW returns the common mechanism weight of a unit-prior model
+// (every edge shares it by construction).
+func unitW(t *testing.T, c *Code) int64 {
+	t.Helper()
+	m := c.DEM()
+	w := m.Edges[0].W
+	for _, e := range m.Edges {
+		if e.W != w {
+			t.Fatalf("unit prior produced unequal weights: %d vs %d", e.W, w)
+		}
 	}
-	// Chain distances: |i - j|.
+	return w
+}
+
+func TestDEMRepetitionGeometry(t *testing.T) {
+	c := mustRep(t, 5)
+	m := c.DEM()
+	w := unitW(t, c)
+	if m.NumStabs != 4 || m.Layers != 3 {
+		t.Fatalf("detector grid = %dx%d", m.NumStabs, m.Layers)
+	}
+	// Chain distances at equal layers: |i - j| mechanisms.
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			want := i - j
 			if want < 0 {
 				want = -want
 			}
-			if g.dist[i][j] != want {
-				t.Fatalf("dist[%d][%d] = %d, want %d", i, j, g.dist[i][j], want)
+			if got := m.Dist(i, 0, j, 0); got != int64(want)*w {
+				t.Fatalf("Dist(%d,0,%d,0) = %d, want %d", i, j, got, int64(want)*w)
 			}
 		}
 	}
+	// Time-separated detectors add one time mechanism per layer.
+	if got := m.Dist(0, 0, 2, 2); got != 4*w {
+		t.Fatalf("Dist(0,0,2,2) = %d, want %d", got, 4*w)
+	}
 	// Boundary distances: min(i+1, d-1-i) hops through end data qubits.
 	wantB := []int{1, 2, 2, 1}
-	for i, w := range wantB {
-		if g.bdist[i] != w {
-			t.Fatalf("bdist[%d] = %d, want %d", i, g.bdist[i], w)
+	for i, want := range wantB {
+		if got := m.BoundaryDist(i); got != int64(want)*w {
+			t.Fatalf("BoundaryDist(%d) = %d, want %d", i, got, int64(want)*w)
 		}
 	}
 }
 
-func TestDecodeGraphPathFlipSets(t *testing.T) {
+func TestDEMPathFlipSets(t *testing.T) {
 	c := mustRep(t, 5)
-	g := c.zGraph
+	m := c.DEM()
 	// Chain stab 0 -> stab 2 crosses data qubits 1 and 2.
-	flips := g.pathData[0][2]
+	flips := m.PathFlips(0, 2)
 	if len(flips) != 2 {
-		t.Fatalf("pathData[0][2] = %v", flips)
+		t.Fatalf("PathFlips(0,2) = %v", flips)
 	}
 	seen := map[int]bool{}
 	for _, d := range flips {
@@ -45,56 +68,129 @@ func TestDecodeGraphPathFlipSets(t *testing.T) {
 		t.Fatalf("path 0->2 flips %v, want data 1 and 2", flips)
 	}
 	// Boundary path from stab 0 flips data 0 (the left end).
-	if len(g.bpathData[0]) != 1 || g.bpathData[0][0] != 0 {
-		t.Fatalf("bpathData[0] = %v", g.bpathData[0])
+	if f := m.BoundaryFlips(0); len(f) != 1 || f[0] != 0 {
+		t.Fatalf("BoundaryFlips(0) = %v", f)
 	}
 	// Boundary path from stab 3 flips data 4 (the right end).
-	if len(g.bpathData[3]) != 1 || g.bpathData[3][0] != 4 {
-		t.Fatalf("bpathData[3] = %v", g.bpathData[3])
+	if f := m.BoundaryFlips(3); len(f) != 1 || f[0] != 4 {
+		t.Fatalf("BoundaryFlips(3) = %v", f)
 	}
 }
 
-func TestDecodeGraphXXZZConnected(t *testing.T) {
+func TestDEMXXZZConnected(t *testing.T) {
 	c := mustXXZZ(t, 3, 3)
-	g := c.zGraph
-	if g.numStabs != 4 {
-		t.Fatalf("numStabs = %d", g.numStabs)
+	m := c.DEM()
+	if m.NumStabs != 4 {
+		t.Fatalf("numStabs = %d", m.NumStabs)
 	}
-	for i := 0; i < g.numStabs; i++ {
-		if g.bdist[i] < 1 {
-			t.Fatalf("stab %d boundary distance %d", i, g.bdist[i])
+	for i := 0; i < m.NumStabs; i++ {
+		if m.BoundaryDist(i) < 1 {
+			t.Fatalf("stab %d boundary distance %d", i, m.BoundaryDist(i))
 		}
-		for j := 0; j < g.numStabs; j++ {
-			if i != j && g.dist[i][j] < 1 {
-				t.Fatalf("dist[%d][%d] = %d", i, j, g.dist[i][j])
+		for j := 0; j < m.NumStabs; j++ {
+			if i != j && m.Dist(i, 0, j, 0) < 1 {
+				t.Fatalf("Dist(%d,0,%d,0) = %d", i, j, m.Dist(i, 0, j, 0))
 			}
 		}
 	}
 }
 
-func TestDecodeGraphFlipSetsMatchDistances(t *testing.T) {
-	// The flip set realising a shortest path must contain exactly
-	// dist data qubits; same for boundary paths.
+func TestDEMFlipSetsMatchDistances(t *testing.T) {
+	// The flip set realising a unit-prior shortest spatial chain must
+	// contain exactly dist/w data qubits; same for boundary paths.
 	for _, c := range []*Code{mustRep(t, 15), mustXXZZ(t, 3, 5), mustXXZZ(t, 5, 3)} {
-		g := c.zGraph
-		for i := 0; i < g.numStabs; i++ {
-			for j := 0; j < g.numStabs; j++ {
-				if i == j || g.dist[i][j] < 0 {
+		m := c.DEM()
+		w := unitW(t, c)
+		for i := 0; i < m.NumStabs; i++ {
+			for j := 0; j < m.NumStabs; j++ {
+				if i == j || m.Dist(i, 0, j, 0) < 0 {
 					continue
 				}
-				if got := len(g.pathData[i][j]); got != g.dist[i][j] {
-					t.Fatalf("%s: |pathData[%d][%d]| = %d, dist = %d",
-						c.Name, i, j, got, g.dist[i][j])
+				if got := int64(len(m.PathFlips(i, j))) * w; got != m.Dist(i, 0, j, 0) {
+					t.Fatalf("%s: |PathFlips(%d,%d)|·w = %d, dist = %d",
+						c.Name, i, j, got, m.Dist(i, 0, j, 0))
 				}
 			}
-			if g.bdist[i] > 0 {
-				if got := len(g.bpathData[i]); got != g.bdist[i] {
-					t.Fatalf("%s: |bpathData[%d]| = %d, bdist = %d",
-						c.Name, i, got, g.bdist[i])
+			if bd := m.BoundaryDist(i); bd > 0 {
+				if got := int64(len(m.BoundaryFlips(i))) * w; got != bd {
+					t.Fatalf("%s: |BoundaryFlips(%d)|·w = %d, bdist = %d",
+						c.Name, i, got, bd)
 				}
 			}
 		}
 	}
+}
+
+func TestWeightedPriorMatchesUnitPriorWhenRatesEqual(t *testing.T) {
+	// A prior assigning the same probability to every mechanism must
+	// decode every record exactly like the unit prior: the weights all
+	// scale by one constant, which blossom matching is invariant under.
+	ref := mustXXZZ(t, 3, 3)
+	weighted := mustXXZZ(t, 3, 3)
+	pr := weighted.NoisePrior(0.01)
+	q := pr.DataFlip[0]
+	for i := range pr.DataFlip {
+		pr.DataFlip[i] = q
+	}
+	for i := range pr.MeasFlip {
+		pr.MeasFlip[i] = q
+	}
+	if err := weighted.SetPrior(pr); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(17)
+	for w := 0; w < 4; w++ {
+		rec := randomRecord(t, ref, src)
+		for lane := uint(0); lane < 64; lane++ {
+			bits := unpackLane(rec, lane)
+			if ref.Decode(bits) != weighted.Decode(bits) {
+				t.Fatalf("word %d lane %d: equal-rate weighted decode differs from unit decode", w, lane)
+			}
+			if ref.DecodeUnionFind(bits) != weighted.DecodeUnionFind(bits) {
+				t.Fatalf("word %d lane %d: equal-rate weighted UF decode differs", w, lane)
+			}
+		}
+	}
+}
+
+func TestNoisePriorChangesWeights(t *testing.T) {
+	// The circuit-derived prior is genuinely heterogeneous on XXZZ
+	// (boundary data qubits see fewer stabilizers than bulk ones), and
+	// decoding with it must still produce valid bits batch-for-scalar.
+	c := mustXXZZ(t, 3, 5)
+	if err := c.SetPrior(c.NoisePrior(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	m := c.DEM()
+	minW, maxW := m.Edges[0].W, m.Edges[0].W
+	for _, e := range m.Edges {
+		if e.W < minW {
+			minW = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	if minW == maxW {
+		t.Fatal("NoisePrior produced a flat weight profile on xxzz-(3,5)")
+	}
+	checkDecodeBatchMatches(t, c, 2, 23)
+	checkUnionFindBatchMatches(t, c, 2, 29)
+}
+
+func TestSetPriorResetsMemos(t *testing.T) {
+	c := mustRep(t, 5)
+	checkDecodeBatchMatches(t, c, 2, 5)
+	if c.batchMemoEntries() == 0 {
+		t.Fatal("memo never populated")
+	}
+	if err := c.SetPrior(c.NoisePrior(0.02)); err != nil {
+		t.Fatal(err)
+	}
+	if c.batchMemoEntries() != 0 {
+		t.Fatal("SetPrior kept stale memo entries")
+	}
+	checkDecodeBatchMatches(t, c, 2, 6)
 }
 
 func TestDetectionEventsOnCleanRecord(t *testing.T) {

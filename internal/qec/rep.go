@@ -61,7 +61,6 @@ func NewRepetitionRounds(d, rounds int) (*Code, error) {
 		c.logicalZ[i] = i
 		logicalX[i] = i
 	}
-	c.zGraph = buildDecodeGraph(c.zStabData, d)
 	c.finishCircuit(logicalX)
 	return c, nil
 }

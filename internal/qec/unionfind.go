@@ -7,66 +7,14 @@ package qec
 // parity or boundary contact); a peeling pass over each cluster's
 // spanning forest then extracts the correction.
 //
-// The decoder operates on the same space-time syndrome graph as the
-// MWPM decoder: one node per (Z stabilizer, detection layer), plus a
-// global boundary node absorbing chains that exit the lattice.
+// The decoder operates on the compiled detector-error model's
+// space-time graph — one node per (Z stabilizer, detection layer) plus
+// the global boundary node absorbing chains that exit the lattice —
+// shared with the MWPM decoder. Growth is uniform per edge (the
+// classic unweighted variant); the DEM supplies the topology and flip
+// identities.
 
-// stGraph is the space-time decoding graph for union-find.
-type stGraph struct {
-	numStabs int
-	layers   int
-	// edges[i] = {u, v, data}; data is the register-local data qubit a
-	// spatial edge flips, or -1 for temporal (measurement) edges.
-	edges [][3]int
-	// adj[v] lists edge indices incident to v.
-	adj [][]int
-	// boundary is the id of the global boundary node.
-	boundary int
-}
-
-// node returns the space-time node id of stabilizer s at layer t.
-func (g *stGraph) node(s, t int) int { return t*g.numStabs + s }
-
-// buildSTGraph assembles the space-time graph from the stabilizer
-// supports for the given number of detection layers.
-func buildSTGraph(stabData [][]int, numData, layers int) *stGraph {
-	n := len(stabData)
-	g := &stGraph{
-		numStabs: n,
-		layers:   layers,
-		boundary: layers * n,
-	}
-	owner := make([][]int, numData)
-	for s, datas := range stabData {
-		for _, d := range datas {
-			owner[d] = append(owner[d], s)
-		}
-	}
-	addEdge := func(u, v, data int) {
-		g.edges = append(g.edges, [3]int{u, v, data})
-	}
-	for t := 0; t < layers; t++ {
-		for d, ss := range owner {
-			switch len(ss) {
-			case 1:
-				addEdge(g.node(ss[0], t), g.boundary, d)
-			case 2:
-				addEdge(g.node(ss[0], t), g.node(ss[1], t), d)
-			}
-		}
-	}
-	for t := 0; t+1 < layers; t++ {
-		for s := 0; s < n; s++ {
-			addEdge(g.node(s, t), g.node(s, t+1), -1)
-		}
-	}
-	g.adj = make([][]int, layers*n+1)
-	for i, e := range g.edges {
-		g.adj[e[0]] = append(g.adj[e[0]], i)
-		g.adj[e[1]] = append(g.adj[e[1]], i)
-	}
-	return g
-}
+import "radqec/internal/dem"
 
 // unionFind is a standard disjoint-set forest with cluster metadata.
 type unionFind struct {
@@ -121,31 +69,32 @@ func (u *unionFind) neutral(r int) bool {
 	return u.parity[r] == 0 || u.boundary[r]
 }
 
-// ufDecode runs cluster growth + peeling and returns the data-qubit
-// flip mask.
-func ufDecode(g *stGraph, defects []defect, numData int) []bool {
+// ufDecode runs cluster growth + peeling over the DEM's space-time
+// graph and returns the data-qubit flip mask.
+func ufDecode(m *dem.Model, defects []defect, numData int) []bool {
 	flips := make([]bool, numData)
 	if len(defects) == 0 {
 		return flips
 	}
-	uf := newUnionFind(len(g.adj))
-	uf.boundary[g.boundary] = true
-	isDefect := make([]bool, len(g.adj))
+	numNodes := len(m.Adj)
+	uf := newUnionFind(numNodes)
+	uf.boundary[m.Boundary] = true
+	isDefect := make([]bool, numNodes)
 	for _, df := range defects {
-		v := g.node(df.stab, df.round)
+		v := m.Node(df.stab, df.round)
 		isDefect[v] = true
 		uf.parity[uf.find(v)] ^= 1
 	}
 	// growth[e] in {0, 1, 2}: half-edge growth state.
-	growth := make([]uint8, len(g.edges))
-	grown := make([]bool, len(g.edges))
+	growth := make([]uint8, len(m.Edges))
+	grown := make([]bool, len(m.Edges))
 
 	// activeRoots tracks clusters that still need growth.
 	active := func() []int {
 		seen := map[int]bool{}
 		var out []int
 		for _, df := range defects {
-			r := uf.find(g.node(df.stab, df.round))
+			r := uf.find(m.Node(df.stab, df.round))
 			if !seen[r] && !uf.neutral(r) {
 				seen[r] = true
 				out = append(out, r)
@@ -157,7 +106,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 	// Vertices currently owned by each cluster are found by scanning;
 	// decoder graphs here are small (hundreds of nodes), so the simple
 	// quadratic variant is plenty and keeps the code auditable.
-	for iter := 0; iter < 4*len(g.edges)+4; iter++ {
+	for iter := 0; iter < 4*len(m.Edges)+4; iter++ {
 		roots := active()
 		if len(roots) == 0 {
 			break
@@ -167,16 +116,16 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 			inActive[r] = true
 		}
 		// Grow every boundary half-edge of every active cluster.
-		for v := range g.adj {
+		for v := range m.Adj {
 			if !inActive[uf.find(v)] {
 				continue
 			}
-			for _, ei := range g.adj[v] {
+			for _, ei := range m.Adj[v] {
 				if growth[ei] < 2 {
 					growth[ei]++
 					if growth[ei] == 2 && !grown[ei] {
 						grown[ei] = true
-						uf.union(g.edges[ei][0], g.edges[ei][1])
+						uf.union(m.Edges[ei].U, m.Edges[ei].V)
 					}
 				}
 			}
@@ -186,7 +135,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 	// Peeling: build a spanning forest of each cluster over grown edges,
 	// then peel leaves, pushing defect parity toward the root. Roots are
 	// boundary-contact vertices when available.
-	n := len(g.adj)
+	n := numNodes
 	treeParent := make([]int, n)
 	treeEdge := make([]int, n)
 	visited := make([]bool, n)
@@ -197,15 +146,14 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 	adjGrown := make([][]int, n)
 	for ei, ok := range grown {
 		if ok {
-			adjGrown[g.edges[ei][0]] = append(adjGrown[g.edges[ei][0]], ei)
-			adjGrown[g.edges[ei][1]] = append(adjGrown[g.edges[ei][1]], ei)
+			adjGrown[m.Edges[ei].U] = append(adjGrown[m.Edges[ei].U], ei)
+			adjGrown[m.Edges[ei].V] = append(adjGrown[m.Edges[ei].V], ei)
 		}
 	}
 	// BFS from the boundary first so boundary-touching clusters root
 	// there (the boundary absorbs any defect parity).
 	order := make([]int, 0, n)
-	var bfs func(start int)
-	bfs = func(start int) {
+	bfs := func(start int) {
 		queue := []int{start}
 		visited[start] = true
 		for len(queue) > 0 {
@@ -213,7 +161,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 			queue = queue[1:]
 			order = append(order, v)
 			for _, ei := range adjGrown[v] {
-				w := g.edges[ei][0] + g.edges[ei][1] - v
+				w := m.Edges[ei].U + m.Edges[ei].V - v
 				if !visited[w] {
 					visited[w] = true
 					treeParent[w] = v
@@ -223,7 +171,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 			}
 		}
 	}
-	bfs(g.boundary)
+	bfs(m.Boundary)
 	for v := 0; v < n; v++ {
 		if !visited[v] {
 			bfs(v)
@@ -232,9 +180,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 	// Peel in reverse BFS order: every vertex is a leaf of the remaining
 	// forest when processed.
 	defectState := make([]bool, n)
-	for v := range isDefect {
-		defectState[v] = isDefect[v]
-	}
+	copy(defectState, isDefect)
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		if treeParent[v] == -1 || !defectState[v] {
@@ -242,7 +188,7 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 		}
 		// Push the defect up through the tree edge.
 		ei := treeEdge[v]
-		if d := g.edges[ei][2]; d >= 0 {
+		if d := m.Edges[ei].Data; d >= 0 {
 			flips[d] = !flips[d]
 		}
 		defectState[v] = false
@@ -252,20 +198,11 @@ func ufDecode(g *stGraph, defects []defect, numData int) []bool {
 }
 
 // DecodeUnionFind decodes a shot record with the union-find decoder
-// instead of MWPM. Detection events and the correction model are shared
-// with Decode, so accuracy differences isolate the matching strategy.
+// instead of MWPM. Detection events, the detector-error model and the
+// correction model are shared with Decode, so accuracy differences
+// isolate the matching strategy.
 func (c *Code) DecodeUnionFind(bits []int) int {
 	defects := c.detectionEvents(bits)
-	g := c.stGraphCached()
-	flips := ufDecode(g, defects, c.Data.Size)
+	flips := ufDecode(c.DEM(), defects, c.Data.Size)
 	return c.logicalValue(bits, flips)
-}
-
-// stGraphCached lazily builds the space-time graph for union-find.
-// Safe for concurrent use by campaign workers.
-func (c *Code) stGraphCached() *stGraph {
-	c.stgOnce.Do(func() {
-		c.stg = buildSTGraph(c.zStabData, c.Data.Size, c.Rounds+1)
-	})
-	return c.stg
 }

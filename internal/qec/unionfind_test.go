@@ -108,19 +108,19 @@ func TestUnionFindMatchesMWPMOnLightNoise(t *testing.T) {
 
 func TestSTGraphStructure(t *testing.T) {
 	c := mustRep(t, 5)
-	g := c.stGraphCached()
+	m := c.DEM()
 	// 4 stabilizers x 3 layers + boundary.
-	if g.boundary != 12 {
-		t.Fatalf("boundary id = %d", g.boundary)
+	if m.Boundary != 12 {
+		t.Fatalf("boundary id = %d", m.Boundary)
 	}
-	if len(g.adj) != 13 {
-		t.Fatalf("node count = %d", len(g.adj))
+	if len(m.Adj) != 13 {
+		t.Fatalf("node count = %d", len(m.Adj))
 	}
 	// Spatial edges per layer: 3 internal (data 1..3 shared) + 2
 	// boundary (data 0 and 4); temporal: 4 x 2.
 	wantEdges := 3*(3+2) + 4*2
-	if len(g.edges) != wantEdges {
-		t.Fatalf("edge count = %d, want %d", len(g.edges), wantEdges)
+	if len(m.Edges) != wantEdges {
+		t.Fatalf("edge count = %d, want %d", len(m.Edges), wantEdges)
 	}
 }
 

@@ -109,7 +109,6 @@ func NewXXZZRounds(dZ, dX, rounds int) (*Code, error) {
 	for r := 0; r < rows; r++ {
 		logicalX = append(logicalX, dataAt(r, 0))
 	}
-	c.zGraph = buildDecodeGraph(zStabs, n)
 	c.finishCircuit(logicalX)
 	return c, nil
 }
