@@ -32,12 +32,23 @@
 //	             shot allocation per point (default off)
 //	-maxshots N  adaptive per-point shot cap (0 = worst-case count
 //	             guaranteeing -ci at any rate)
+//	-store DIR   content-addressed result store: completed points are
+//	             served from DIR instead of recomputed, new points are
+//	             committed to it, and batch-level checkpoints make an
+//	             interrupted run resumable; the same directory a
+//	             radqecd daemon serves
+//	-resume      with -store, pick interrupted points back up at their
+//	             last checkpointed batch instead of shot zero
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile after the run to F
 //	-csv         emit CSV instead of aligned text
 //	-json        stream one JSON record per completed sweep point and
 //	             emit each table as a JSON record
 //	-o FILE      write to FILE instead of stdout
+//
+// SIGINT/SIGTERM flush the store and any active pprof profiles before
+// exiting nonzero, so a killed campaign leaves a resumable store
+// behind instead of a torn file.
 package main
 
 import (
@@ -46,79 +57,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"sort"
+	"sync"
+	"syscall"
 	"time"
 
 	"radqec/internal/core"
 	"radqec/internal/exp"
+	"radqec/internal/store"
 	"radqec/internal/sweep"
 )
-
-type experiment struct {
-	name string
-	desc string
-	run  func(exp.Config) (*exp.Table, error)
-	// xxzzRad marks experiments whose campaigns include radiation
-	// strikes on XXZZ circuits — the collapsed-branch approximation
-	// domain of the frame engines (see package frame); the stderr
-	// notice in main fires only for these. Repetition-only and
-	// radiation-free experiments are frame-exact on every engine.
-	xxzzRad bool
-}
-
-func experiments() []experiment {
-	wrap := func(f func(exp.Config) *exp.Table) func(exp.Config) (*exp.Table, error) {
-		return func(c exp.Config) (*exp.Table, error) { return f(c), nil }
-	}
-	return []experiment{
-		{"fig3", "temporal decay T(t) and its step approximation", wrap(exp.Fig3), false},
-		{"fig4", "spatial decay S(d) over architecture distance", wrap(exp.Fig4), false},
-		{"fig5", "logical error landscape: noise x radiation", exp.Fig5, true},
-		{"fig6", "criticality by code distance (single erasure)", exp.Fig6, true},
-		{"fig7", "correlated spread vs independent erasures", exp.Fig7, true},
-		{"fig8", "per-qubit criticality across architectures", exp.Fig8, true},
-		{"fig8summary", "architecture comparison summary", exp.Fig8Summary, true},
-		{"ablation-decoder", "blossom vs union-find vs greedy decoding", exp.AblationDecoder, true},
-		{"ablation-ns", "temporal sample count sweep", exp.AblationTemporalSamples, false},
-		{"ablation-layout", "initial layout strategy", exp.AblationLayout, true},
-		{"ablation-rounds", "stabilization round count sweep", exp.AblationRounds, false},
-		{"memory", "logical error vs rounds at fixed distance (space-time decoding)", exp.Memory, true},
-		{"threshold", "intrinsic-noise baseline by distance (no radiation)", exp.Threshold, false},
-		{"logical", "post-QEC logical-layer fault injection (future work)", exp.LogicalLayer, true},
-	}
-}
-
-// pointRecord is the streaming JSON view of one completed sweep point.
-type pointRecord struct {
-	Type       string  `json:"type"`
-	Experiment string  `json:"experiment"`
-	Key        string  `json:"key"`
-	Shots      int     `json:"shots"`
-	Errors     int     `json:"errors"`
-	Rate       float64 `json:"rate"`
-	CILo       float64 `json:"ci_lo"`
-	CIHi       float64 `json:"ci_hi"`
-	HalfWidth  float64 `json:"half_width"`
-	Batches    int     `json:"batches"`
-	Q50        float64 `json:"q50"`
-	Q90        float64 `json:"q90"`
-	Q99        float64 `json:"q99"`
-	CVaR90     float64 `json:"cvar90"`
-	Converged  bool    `json:"converged"`
-}
-
-// tableRecord is the JSON view of a finished experiment table.
-type tableRecord struct {
-	Type       string     `json:"type"`
-	Experiment string     `json:"experiment"`
-	Title      string     `json:"title"`
-	Header     []string   `json:"header"`
-	Rows       [][]string `json:"rows"`
-	Notes      []string   `json:"notes,omitempty"`
-	ElapsedMS  int64      `json:"elapsed_ms"`
-}
 
 func main() {
 	shots := flag.Int("shots", 2000, "shots per measured point")
@@ -131,6 +83,8 @@ func main() {
 	rounds := flag.Int("rounds", 2, "stabilization rounds per code (>= 2; >2 opens the multi-round memory workload)")
 	ci := flag.Float64("ci", 0, "target Wilson 95% half-width per point (>0 enables adaptive shots)")
 	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
+	storeDir := flag.String("store", "", "content-addressed result store directory (empty disables caching)")
+	resume := flag.Bool("resume", false, "with -store, resume interrupted points from their last checkpoint")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the experiment run to this file")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -147,10 +101,10 @@ func main() {
 	// Flag values that select named strategies are validated here, with
 	// a usage error listing the valid names, so a typo can never reach
 	// the panic paths deep in core.NewEngineRunner or the sweep workers.
-	if !containsName(exp.Engines(), *engine) {
+	if !slices.Contains(exp.Engines(), *engine) {
 		usageError(fmt.Sprintf("unknown engine %q (want one of %v)", *engine, exp.Engines()))
 	}
-	if !containsName(exp.Decoders(), *decoder) {
+	if !slices.Contains(exp.Decoders(), *decoder) {
 		usageError(fmt.Sprintf("unknown decoder %q (want one of %v)", *decoder, exp.Decoders()))
 	}
 	// Numeric flags are validated the same way: a constraint violation
@@ -177,6 +131,9 @@ func main() {
 	if *maxShots < 0 {
 		usageError(fmt.Sprintf("-maxshots %d out of range (want >= 0; 0 = worst-case count for -ci)", *maxShots))
 	}
+	if *resume && *storeDir == "" {
+		usageError("-resume requires -store DIR")
+	}
 	cfg := exp.Config{
 		Shots:    *shots,
 		Seed:     *seed,
@@ -188,7 +145,18 @@ func main() {
 		MaxShots: *maxShots,
 		Engine:   *engine,
 		Decoder:  *decoder,
+		Resume:   *resume,
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = st
+		resultStore = st
+	}
+
+	defer closeStoreOnce()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -200,9 +168,9 @@ func main() {
 		out = f
 	}
 
-	var selected []experiment
-	for _, e := range experiments() {
-		if e.name == name || name == "all" {
+	var selected []exp.Experiment
+	for _, e := range exp.Experiments() {
+		if e.Name == name || name == "all" {
 			selected = append(selected, e)
 		}
 	}
@@ -248,13 +216,39 @@ func main() {
 		}
 	}
 	defer flushOnce()
+	// The signal handler flushes everything an interrupted campaign
+	// wants back: active pprof profiles and the result store's NDJSON
+	// segment (whose batch-level checkpoints are already on disk), then
+	// exits with the conventional 128+signal status. It is started only
+	// after the profile hooks and store are installed — goroutine
+	// creation gives the happens-before edge that makes the
+	// flushProfiles chain and resultStore safely visible to it. The
+	// store's append-under-mutex discipline means Close lands between
+	// whole records, so the killed run leaves a cleanly resumable store.
+	// Notify is registered here, not inside the goroutine, so there is
+	// no startup window where a signal still takes the default
+	// disposition after the store and profile hooks are live.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		flushOnce()
+		if resultStore != nil {
+			closeStoreOnce()
+			fmt.Fprintf(os.Stderr, "radqec: %v: store flushed; rerun with -store %s -resume to continue\n", sig, *storeDir)
+		}
+		if n, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(n))
+		}
+		os.Exit(1)
+	}()
 	// The frame engines approximate radiation resets on superposed XXZZ
 	// sites (collapsed-branch coin; see package frame); say so once on
 	// stderr — only when a selected experiment actually enters that
 	// domain — so default-flag reproduction runs know the exact oracle.
 	if resolved, _ := core.ResolveEngine(*engine); resolved != core.EngineTableau {
 		for _, e := range selected {
-			if e.xxzzRad {
+			if e.XXZZRad {
 				fmt.Fprintf(os.Stderr, "radqec: engine %s: radiation resets on superposed XXZZ sites use the collapsed-branch approximation; -engine tableau is the exact oracle\n", resolved)
 				break
 			}
@@ -265,83 +259,72 @@ func main() {
 		if *jsonOut {
 			// The sweep engine serialises OnResult calls, so the encoder
 			// needs no extra locking.
-			expName := e.name
+			expName := e.Name
 			cfg.OnPoint = func(r sweep.Result) {
-				if err := enc.Encode(pointRecord{
-					Type:       "point",
-					Experiment: expName,
-					Key:        r.Key,
-					Shots:      r.Shots,
-					Errors:     r.Errors,
-					Rate:       r.Rate(),
-					CILo:       r.CILo,
-					CIHi:       r.CIHi,
-					HalfWidth:  r.HalfWidth(),
-					Batches:    len(r.BatchRates),
-					Q50:        r.Tail.Q50,
-					Q90:        r.Tail.Q90,
-					Q99:        r.Tail.Q99,
-					CVaR90:     r.Tail.CVaR90,
-					Converged:  r.Converged,
-				}); err != nil {
+				if err := enc.Encode(exp.NewPointRecord(expName, r)); err != nil {
 					fatal(err)
 				}
 			}
 		}
 		start := time.Now()
-		tab, err := e.run(cfg)
+		tab, err := e.Run(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		switch {
 		case *jsonOut:
-			rows := tab.Rows
-			if rows == nil {
-				rows = [][]string{}
-			}
-			if err := enc.Encode(tableRecord{
-				Type:       "table",
-				Experiment: e.name,
-				Title:      tab.Title,
-				Header:     tab.Header,
-				Rows:       rows,
-				Notes:      tab.Notes,
-				ElapsedMS:  time.Since(start).Milliseconds(),
-			}); err != nil {
+			if err := enc.Encode(exp.NewTableRecord(e.Name, tab, time.Since(start))); err != nil {
 				fatal(err)
 			}
 		case *csv:
 			tab.WriteCSV(out)
 		default:
 			tab.WriteText(out)
-			fmt.Fprintf(out, "(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(out, "(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: radqec [flags] <experiment>\n\nexperiments:\n")
-	exps := experiments()
-	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
+	exps := exp.Experiments()
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	for _, e := range exps {
-		fmt.Fprintf(os.Stderr, "  %-18s %s\n", e.name, e.desc)
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", e.Name, e.Desc)
 	}
 	fmt.Fprintf(os.Stderr, "  %-18s %s\n\nflags:\n", "all", "run every experiment")
 	flag.PrintDefaults()
 }
 
 // flushProfiles finalises any active profiling; flushOnce guards it so
-// the normal defer and an error exit cannot both run it.
+// the normal defer, an error exit and the signal handler cannot run it
+// twice (the handler races the main goroutine, hence sync.Once).
 var (
 	flushProfiles = func() {}
-	flushed       bool
+	flushGuard    sync.Once
 )
 
 func flushOnce() {
-	if !flushed {
-		flushed = true
-		flushProfiles()
-	}
+	flushGuard.Do(func() { flushProfiles() })
+}
+
+// resultStore is the -store cache when one is open; closeStoreOnce
+// syncs and closes it exactly once across the normal exit path, fatal,
+// and the signal handler.
+var (
+	resultStore *store.Store
+	storeGuard  sync.Once
+)
+
+func closeStoreOnce() {
+	storeGuard.Do(func() {
+		if resultStore == nil {
+			return
+		}
+		if err := resultStore.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "radqec: store:", err)
+		}
+	})
 }
 
 // writeHeapProfile snapshots the heap after a GC. Errors are reported
@@ -362,18 +345,9 @@ func writeHeapProfile(path string) {
 
 func fatal(err error) {
 	flushOnce()
+	closeStoreOnce()
 	fmt.Fprintln(os.Stderr, "radqec:", err)
 	os.Exit(1)
-}
-
-// containsName reports whether names contains v.
-func containsName(names []string, v string) bool {
-	for _, n := range names {
-		if n == v {
-			return true
-		}
-	}
-	return false
 }
 
 // usageError reports a bad flag value and exits with the usage status.

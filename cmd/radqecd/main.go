@@ -1,0 +1,135 @@
+// Command radqecd is the radqec campaign daemon: it serves every
+// experiment of the registry over HTTP, streams sweep points back as
+// NDJSON while the shared worker pool produces them, and persists each
+// point in a content-addressed on-disk store so identical
+// re-submissions — from any client, or from the radqec CLI pointed at
+// the same -store directory — replay from disk without re-running the
+// engines.
+//
+// Usage:
+//
+//	radqecd [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT  listen address (default :8423)
+//	-store DIR       result store directory (default radqec-store;
+//	                 "" disables persistence)
+//	-workers N       shared sweep worker pool size (default GOMAXPROCS);
+//	                 all concurrent campaigns are multiplexed fairly
+//	                 over this one budget
+//	-lru N           decoded results held in memory (default 4096)
+//
+// Endpoints are documented in package server. SIGINT/SIGTERM drain
+// in-flight campaigns, flush the store and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radqec/internal/server"
+	"radqec/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8423", "listen address")
+	storeDir := flag.String("store", "radqec-store", "result store directory (empty disables persistence)")
+	workers := flag.Int("workers", 0, "shared sweep worker pool size (0 = GOMAXPROCS)")
+	lru := flag.Int("lru", 0, "decoded results held in memory (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "radqecd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d out of range (want >= 0; 0 = GOMAXPROCS)", *workers))
+	}
+	if *lru < 0 {
+		fatal(fmt.Errorf("-lru %d out of range (want >= 0; 0 = default)", *lru))
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxCached: *lru})
+		if err != nil {
+			fatal(err)
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "radqecd: store %s: %d committed points, %d checkpoints, %d segment bytes\n",
+			*storeDir, stats.Commits, stats.Checkpoints, stats.SegmentBytes)
+	} else {
+		fmt.Fprintln(os.Stderr, "radqecd: running without a store; every campaign recomputes")
+	}
+
+	srv := server.New(server.Config{Store: st, Workers: *workers})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM: stop accepting, drain in-flight campaigns (their
+	// points keep checkpointing into the store), then flush and close
+	// the store so the directory is immediately reusable. A drain can
+	// take as long as the longest queued campaign, so a second signal
+	// is the escape hatch: flush the store and exit immediately instead
+	// of forcing the operator to SIGKILL past the flush path.
+	done := make(chan error, 1)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "radqecd: %v: draining (signal again to exit now)\n", sig)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			done <- httpSrv.Shutdown(ctx)
+		}()
+		sig = <-sigc
+		fmt.Fprintf(os.Stderr, "radqecd: %v: exiting now\n", sig)
+		if st != nil {
+			st.Close() // sync + close; in-flight appends finish first
+		}
+		if n, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(n))
+		}
+		os.Exit(1)
+	}()
+
+	fmt.Fprintf(os.Stderr, "radqecd: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if st != nil {
+			st.Close()
+		}
+		fatal(err)
+	}
+	shutdownErr := <-done
+	if shutdownErr == nil {
+		// Clean drain: every handler returned, so the pool is idle and
+		// can be released. After a drain timeout campaigns are still
+		// running on the pool — closing it would panic their next sweep
+		// — so the pool is left to die with the process instead.
+		srv.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "radqecd: drain incomplete (%v); exiting with campaigns in flight\n", shutdownErr)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if shutdownErr != nil {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "radqecd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"radqec/internal/arch"
+	"radqec/internal/store"
+	"radqec/internal/sweep"
+)
+
+// fingerprintFor builds a small spec and fingerprints it under cfg.
+func fingerprintFor(t *testing.T, cfg Config) string {
+	t.Helper()
+	cfg = cfg.Defaults()
+	code, err := cfg.repetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prepare(code, arch.Mesh(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.spec("fp/test", cfg, p.strikeAt(2, 0.5, true), cfg.Seed).fingerprint(cfg)
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := Config{Shots: 64, Seed: 7}
+	if a, b := fingerprintFor(t, base), fingerprintFor(t, base); a != b {
+		t.Fatalf("same spec hashed differently: %s vs %s", a, b)
+	}
+	ref := fingerprintFor(t, base)
+	for name, cfg := range map[string]Config{
+		"seed":    {Shots: 64, Seed: 8},
+		"shots":   {Shots: 65, Seed: 7},
+		"engine":  {Shots: 64, Seed: 7, Engine: EngineTableau},
+		"decoder": {Shots: 64, Seed: 7, Decoder: DecoderUF},
+		"ci":      {Shots: 64, Seed: 7, CI: 0.01},
+		"rounds":  {Shots: 64, Seed: 7, Rounds: 3}, // deeper circuit
+	} {
+		if got := fingerprintFor(t, cfg); got == ref {
+			t.Errorf("changing %s did not move the fingerprint", name)
+		}
+	}
+	// EngineAuto and its resolution hash identically: the fingerprint
+	// records the engine that actually runs.
+	if got := fingerprintFor(t, Config{Shots: 64, Seed: 7, Engine: EngineBatch}); got != ref {
+		t.Error("auto vs resolved batch engine hashed differently")
+	}
+}
+
+// tableText renders a table the way the CLI does.
+func tableText(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tab.WriteText(&buf)
+	return buf.String()
+}
+
+// TestStoreResumeByteIdenticalTables is the acceptance-criterion test
+// at the experiment level: a campaign killed mid-flight (its store
+// left holding only batch checkpoints) and resumed with -store/-resume
+// semantics emits a byte-identical table to an uninterrupted run, and
+// a warm re-run serves every point from the cache without touching the
+// engines.
+func TestStoreResumeByteIdenticalTables(t *testing.T) {
+	base := Config{Shots: 256, Seed: 12345}
+	ref, err := Threshold(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableText(t, ref)
+
+	// Cold run against a fresh store: caching must not perturb output.
+	coldDir := t.TempDir()
+	st, err := store.Open(coldDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Cache = st
+	cold, err := Threshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableText(t, cold); got != want {
+		t.Fatalf("cold cached run diverged:\n%s\nvs\n%s", got, want)
+	}
+	st.Close()
+
+	// Simulate the kill: a store holding only the checkpoint trail (no
+	// commits), plus a torn final line — what SIGKILL mid-append leaves.
+	lines, err := os.ReadFile(filepath.Join(coldDir, store.SegmentName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts []string
+	for _, ln := range strings.Split(strings.TrimRight(string(lines), "\n"), "\n") {
+		if strings.Contains(ln, `"kind":"ckpt"`) {
+			ckpts = append(ckpts, ln)
+		}
+	}
+	if len(ckpts) == 0 {
+		t.Fatal("cold run left no checkpoints")
+	}
+	killDir := t.TempDir()
+	seg := strings.Join(ckpts, "\n") + "\n" + `{"kind":"commit","hash":"to`
+	if err := os.WriteFile(filepath.Join(killDir, store.SegmentName), []byte(seg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := store.Open(killDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := base
+	rcfg.Cache = killed
+	rcfg.Resume = true
+	var resumedCached int
+	rcfg.OnPoint = func(r sweep.Result) {
+		if r.Cached {
+			resumedCached++
+		}
+	}
+	resumed, err := Threshold(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableText(t, resumed); got != want {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if resumedCached != 0 {
+		t.Fatalf("%d points served as committed from a checkpoint-only store", resumedCached)
+	}
+
+	// Warm re-run: every point replays from the now-committed store.
+	wcfg := base
+	wcfg.Cache = killed
+	var points, cached int
+	wcfg.OnPoint = func(r sweep.Result) {
+		points++
+		if r.Cached {
+			cached++
+		}
+	}
+	warm, err := Threshold(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableText(t, warm); got != want {
+		t.Fatalf("warm run diverged:\n%s\nvs\n%s", got, want)
+	}
+	if points == 0 || cached != points {
+		t.Fatalf("warm run: %d/%d points cached", cached, points)
+	}
+	killed.Close()
+}
+
+// TestSharedSchedulerMatchesPrivatePool: running an experiment on an
+// external scheduler (the daemon configuration) produces the exact
+// private-pool output.
+func TestSharedSchedulerMatchesPrivatePool(t *testing.T) {
+	base := Config{Shots: 200, Seed: 99}
+	ref, err := Threshold(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sweep.NewScheduler(4)
+	defer sched.Close()
+	cfg := base
+	cfg.Scheduler = sched
+	got, err := Threshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tableText(t, got) != tableText(t, ref) {
+		t.Fatal("shared-scheduler table diverged from private pool")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"radqec/internal/qec"
 	"radqec/internal/rng"
 	"radqec/internal/stats"
+	"radqec/internal/store"
 	"radqec/internal/sweep"
 )
 
@@ -90,6 +91,20 @@ type Config struct {
 	// its codes with (0 means the paper's 2). The memory experiment
 	// sweeps rounds itself and treats this as the sweep's deepest point.
 	Rounds int
+	// Cache, when set, persists every sweep point under its canonical
+	// spec hash (see specFingerprint): committed points are served
+	// without re-running the engine, and batch-boundary checkpoints
+	// leave interrupted campaigns resumable. The disk-backed
+	// implementation is store.Store.
+	Cache sweep.PointCache
+	// Resume consumes partial checkpoints from Cache, restarting
+	// interrupted points at their last batch boundary instead of shot
+	// zero. Committed points are served regardless of Resume.
+	Resume bool
+	// Scheduler, when set, runs every sweep on this shared worker pool
+	// — the daemon sets it so concurrent client campaigns share one CPU
+	// budget fairly instead of oversubscribing.
+	Scheduler *sweep.Scheduler
 }
 
 // repetition builds the repetition code at the configured memory depth.
@@ -139,12 +154,15 @@ func (c Config) Defaults() Config {
 // is chunked into the per-batch tail statistics.
 func (c Config) sweepConfig() sweep.Config {
 	return sweep.Config{
-		Shots:    c.Shots,
-		CI:       c.CI,
-		MaxShots: c.MaxShots,
-		Align:    64,
-		Workers:  c.Workers,
-		OnResult: c.OnPoint,
+		Shots:     c.Shots,
+		CI:        c.CI,
+		MaxShots:  c.MaxShots,
+		Align:     64,
+		Workers:   c.Workers,
+		OnResult:  c.OnPoint,
+		Cache:     c.Cache,
+		Resume:    c.Resume,
+		Scheduler: c.Scheduler,
 	}
 }
 
@@ -226,6 +244,20 @@ type prepared struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int // all-pairs distances of the topology
+	// dump memoises the circuit's canonical serialization for
+	// fingerprinting — a figure shares one prepared circuit across its
+	// whole point grid, so it is dumped once, not per point. Filled
+	// lazily from runSpecs' single goroutine (before the sweep fans
+	// out), so no locking is needed.
+	dump string
+}
+
+// circuitDump returns the memoised canonical circuit serialization.
+func (p *prepared) circuitDump() string {
+	if p.dump == "" {
+		p.dump = p.tr.Circuit.String()
+	}
+	return p.dump
 }
 
 func prepare(code *qec.Code, topo arch.Topology) (*prepared, error) {
@@ -272,6 +304,64 @@ func (s pointSpec) engineFor(engine string) string {
 // rate.
 func (p *prepared) spec(key string, cfg Config, ev *noise.RadiationEvent, seed uint64) pointSpec {
 	return pointSpec{key: key, prep: p, phys: cfg.P, ev: ev, seed: seed}
+}
+
+// fingerprintVersion versions the canonical spec serialization. Bump
+// it whenever the meaning of a cached result changes — a new
+// allocation policy, a different engine shot-stream contract — so a
+// stale store misses instead of serving results computed under
+// different semantics.
+const fingerprintVersion = 1
+
+// specFingerprint is the canonical serialized identity of one sweep
+// point: everything that determines its result — the routed circuit,
+// the fault, the seed, the resolved engine and decoder, and the full
+// shot-allocation policy. Hashing goes through store.CanonicalHash, so
+// the address depends only on the values, never on field order or the
+// Go shape that produced them.
+type specFingerprint struct {
+	V        int       `json:"v"`
+	Key      string    `json:"key"`
+	Circuit  string    `json:"circuit"`
+	Phys     float64   `json:"phys"`
+	Event    []float64 `json:"event,omitempty"`
+	Seed     uint64    `json:"seed"`
+	Engine   string    `json:"engine"`
+	Decoder  string    `json:"decoder"`
+	Shots    int       `json:"shots"`
+	CI       float64   `json:"ci,omitempty"`
+	MaxShots int       `json:"max_shots,omitempty"`
+	Align    int       `json:"align"`
+}
+
+// fingerprint returns the point's content address under cfg. Specs
+// that override the decode function are still distinguished, because
+// every such spec carries the variant in its key (e.g. the
+// ablation-decoder rows).
+func (s pointSpec) fingerprint(cfg Config) string {
+	fp := specFingerprint{
+		V:        fingerprintVersion,
+		Key:      s.key,
+		Circuit:  s.prep.circuitDump(),
+		Phys:     s.phys,
+		Seed:     s.seed,
+		Engine:   s.engineFor(cfg.Engine),
+		Decoder:  cfg.DecoderName(),
+		Shots:    cfg.Shots,
+		CI:       cfg.CI,
+		MaxShots: cfg.MaxShots,
+		Align:    64,
+	}
+	if s.ev != nil {
+		fp.Event = s.ev.Probs
+	}
+	h, err := store.CanonicalHash(fp)
+	if err != nil {
+		// A plain struct of scalars and slices cannot fail to marshal;
+		// reaching here is programmer error in the fingerprint shape.
+		panic(fmt.Sprintf("exp: fingerprint: %v", err))
+	}
+	return h
 }
 
 // point lowers the spec onto the sweep engine. The campaign is built
@@ -324,9 +414,28 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	shotWorkers := (budget + len(specs) - 1) / len(specs)
+	if cfg.Scheduler != nil {
+		// On a shared pool the campaign does not own the budget: other
+		// campaigns' points run concurrently on the same workers, so
+		// splitting "the whole budget" across this campaign's points
+		// would multiply compute goroutines past the pool size with N
+		// clients. Split it by the campaigns sharing the pool instead —
+		// a lone small campaign still fans its shots across the idle
+		// workers, while overlapping campaigns divide the budget. The
+		// denominator is a snapshot (campaigns come and go), so this is
+		// a soft bound, not an exact one; correctness never depends on
+		// it (shot streams are deterministic at any parallelism).
+		shotWorkers = budget / (len(specs) * (cfg.Scheduler.Active() + 1))
+		if shotWorkers < 1 {
+			shotWorkers = 1
+		}
+	}
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
 		points[i] = s.point(cfg.Engine, cfg.Decoder, shotWorkers)
+		if cfg.Cache != nil {
+			points[i].Hash = s.fingerprint(cfg)
+		}
 	}
 	return sweep.Run(cfg.sweepConfig(), points)
 }

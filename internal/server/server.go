@@ -1,0 +1,386 @@
+// Package server exposes the radqec campaign engine over HTTP: clients
+// submit any experiment of the registry as JSON and stream its sweep
+// points back as NDJSON while the workers produce them, with the final
+// table as the last record — the exact records the CLI's -json mode
+// emits, so a daemon stream and a local run are interchangeable.
+//
+// All campaigns, however many clients are connected, run on one shared
+// sweep.Scheduler: the worker pool is sized once at startup and points
+// are handed out round-robin across active campaigns, so concurrent
+// clients share the CPU fairly instead of oversubscribing it. When a
+// store is attached, every point is content-addressed into it and
+// re-submissions replay from disk without touching the engines.
+//
+// Endpoints:
+//
+//	POST   /v1/campaigns       submit a campaign, stream NDJSON points + table
+//	GET    /v1/experiments     list runnable experiments
+//	GET    /v1/cache           store statistics
+//	GET    /v1/cache/entries   list committed points (hash, key, shots)
+//	DELETE /v1/cache           clear the store
+//	DELETE /v1/cache/{hash}    invalidate one point
+//	POST   /v1/cache/compact   rewrite the segment to live records
+//	GET    /healthz            liveness + basic shape
+//	GET    /metrics            Prometheus-style text metrics
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"radqec/internal/core"
+	"radqec/internal/exp"
+	"radqec/internal/store"
+	"radqec/internal/sweep"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the content-addressed result store; nil runs without
+	// persistence (every campaign recomputes).
+	Store *store.Store
+	// Workers sizes the shared sweep worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Server is the campaign service. Create with New, mount Handler, and
+// Close on shutdown (after the HTTP server has drained).
+type Server struct {
+	st      *store.Store
+	sched   *sweep.Scheduler
+	workers int
+	mux     *http.ServeMux
+	start   time.Time
+
+	campaignsTotal  atomic.Int64
+	campaignsActive atomic.Int64
+	campaignErrors  atomic.Int64
+	pointsComputed  atomic.Int64
+	pointsCached    atomic.Int64
+	shotsComputed   atomic.Int64
+}
+
+// New builds the server and starts its shared worker pool.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		st:      cfg.Store,
+		sched:   sweep.NewScheduler(workers),
+		workers: workers,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	s.mux.HandleFunc("GET /v1/cache/entries", s.handleCacheEntries)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
+	s.mux.HandleFunc("DELETE /v1/cache/{hash}", s.handleCacheInvalidate)
+	s.mux.HandleFunc("POST /v1/cache/compact", s.handleCacheCompact)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the shared worker pool after in-flight campaigns drain.
+func (s *Server) Close() { s.sched.Close() }
+
+// CampaignRequest is the JSON body of POST /v1/campaigns. Zero fields
+// take the CLI defaults, so {"experiment":"fig5"} is a complete
+// request.
+type CampaignRequest struct {
+	Experiment string `json:"experiment"`
+	Shots      int    `json:"shots,omitempty"`
+	// Seed is a pointer so an omitted field takes the CLI's default
+	// seed (1) while an explicit {"seed":0} still means seed zero.
+	Seed     *uint64 `json:"seed,omitempty"`
+	P        float64 `json:"p,omitempty"`
+	NS       int     `json:"ns,omitempty"`
+	Rounds   int     `json:"rounds,omitempty"`
+	Engine   string  `json:"engine,omitempty"`
+	Decoder  string  `json:"decoder,omitempty"`
+	CI       float64 `json:"ci,omitempty"`
+	MaxShots int     `json:"maxshots,omitempty"`
+	// Workers caps this campaign's concurrency inside the shared pool
+	// (0 = the whole pool). It never grows the pool.
+	Workers int `json:"workers,omitempty"`
+	// NoCache bypasses the store for this campaign: nothing is read
+	// from or written to it.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// validate mirrors the CLI's flag validation so a bad request is a 400
+// naming the constraint, never a panic in a sweep worker.
+func (r CampaignRequest) validate() error {
+	if _, ok := exp.Find(r.Experiment); !ok {
+		return fmt.Errorf("unknown experiment %q", r.Experiment)
+	}
+	if r.Engine != "" {
+		if _, err := core.ResolveEngine(r.Engine); err != nil {
+			return fmt.Errorf("unknown engine %q (want one of %v)", r.Engine, exp.Engines())
+		}
+	}
+	if r.Decoder != "" && !slices.Contains(exp.Decoders(), r.Decoder) {
+		return fmt.Errorf("unknown decoder %q (want one of %v)", r.Decoder, exp.Decoders())
+	}
+	if r.Shots < 0 {
+		return fmt.Errorf("shots %d out of range (want >= 0; 0 = default)", r.Shots)
+	}
+	if r.P < 0 || r.P > 1 {
+		return fmt.Errorf("p %g out of range (want a probability in [0,1])", r.P)
+	}
+	if r.NS < 0 {
+		return fmt.Errorf("ns %d out of range (want >= 0; 0 = default)", r.NS)
+	}
+	if r.Rounds != 0 && r.Rounds < 2 {
+		return fmt.Errorf("rounds %d out of range (want >= 2 stabilization rounds; 0 = default)", r.Rounds)
+	}
+	if r.CI < 0 || r.CI >= 0.5 {
+		return fmt.Errorf("ci %g out of range (want 0 <= ci < 0.5; 0 disables adaptive shots)", r.CI)
+	}
+	if r.MaxShots < 0 {
+		return fmt.Errorf("maxshots %d out of range (want >= 0)", r.MaxShots)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("workers %d out of range (want >= 0; 0 = whole pool)", r.Workers)
+	}
+	return nil
+}
+
+// config lowers the request onto an experiment config bound to the
+// server's shared scheduler and store.
+func (r CampaignRequest) config(s *Server) exp.Config {
+	workers := s.workers
+	if r.Workers > 0 && r.Workers < workers {
+		workers = r.Workers
+	}
+	seed := uint64(1) // the CLI's -seed default
+	if r.Seed != nil {
+		seed = *r.Seed
+	}
+	cfg := exp.Config{
+		Shots:     r.Shots,
+		Seed:      seed,
+		Workers:   workers,
+		P:         r.P,
+		NS:        r.NS,
+		Rounds:    r.Rounds,
+		CI:        r.CI,
+		MaxShots:  r.MaxShots,
+		Engine:    r.Engine,
+		Decoder:   r.Decoder,
+		Scheduler: s.sched,
+		Resume:    true,
+	}
+	if s.st != nil && !r.NoCache {
+		cfg.Cache = s.st
+	}
+	return cfg
+}
+
+// errorRecord is the NDJSON record reporting a campaign failure after
+// streaming has begun (the status line is already committed by then).
+type errorRecord struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	defer io.Copy(io.Discard, r.Body)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req CampaignRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e, _ := exp.Find(req.Experiment)
+	cfg := req.config(s)
+
+	s.campaignsTotal.Add(1)
+	s.campaignsActive.Add(1)
+	defer s.campaignsActive.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // keep reverse proxies from batching the stream
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	// OnPoint runs on a shared pool worker, so a stalled client must
+	// never block it indefinitely: each write gets a fresh deadline,
+	// and after the first failed write the stream is considered gone —
+	// later points skip encoding entirely. The campaign itself keeps
+	// running either way, so its points still land in the store for
+	// the next submission.
+	clientGone := false
+	emit := func(v any) {
+		if clientGone {
+			return
+		}
+		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if enc.Encode(v) != nil {
+			clientGone = true
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	cfg.OnPoint = func(res sweep.Result) {
+		if res.Cached {
+			s.pointsCached.Add(1)
+		} else {
+			s.pointsComputed.Add(1)
+			s.shotsComputed.Add(int64(res.Shots))
+		}
+		emit(exp.NewPointRecord(e.Name, res))
+	}
+	start := time.Now()
+	tab, err := e.Run(cfg)
+	if err != nil {
+		s.campaignErrors.Add(1)
+		emit(errorRecord{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(exp.NewTableRecord(e.Name, tab, time.Since(start)))
+}
+
+// streamWriteTimeout bounds how long one NDJSON record write may block
+// on a stalled client before the stream is abandoned; it exists so a
+// dead connection can never pin a shared pool worker.
+const streamWriteTimeout = 30 * time.Second
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+	// XXZZRad marks campaigns entering the collapsed-branch
+	// approximation domain of the frame engines (see package frame).
+	XXZZRad bool `json:"xxzz_rad"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	out := make([]experimentInfo, 0, 16)
+	for _, e := range exp.Experiments() {
+		out = append(out, experimentInfo{Name: e.Name, Desc: e.Desc, XXZZRad: e.XXZZRad})
+	}
+	writeJSON(w, out)
+}
+
+// errNoStore reports cache endpoints hit on a storeless server.
+var errNoStore = errors.New("no store attached (start the daemon with -store)")
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, errNoStore.Error())
+		return
+	}
+	writeJSON(w, s.st.Stats())
+}
+
+func (s *Server) handleCacheEntries(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, errNoStore.Error())
+		return
+	}
+	writeJSON(w, s.st.Entries())
+}
+
+func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, errNoStore.Error())
+		return
+	}
+	if err := s.st.Clear(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]string{"status": "cleared"})
+}
+
+func (s *Server) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, errNoStore.Error())
+		return
+	}
+	hash := r.PathValue("hash")
+	if !s.st.Invalidate(hash) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("hash %q not in store", hash))
+		return
+	}
+	writeJSON(w, map[string]string{"status": "invalidated", "hash": hash})
+}
+
+func (s *Server) handleCacheCompact(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, errNoStore.Error())
+		return
+	}
+	if err := s.st.Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, s.st.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":           "ok",
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+		"workers":          s.workers,
+		"store":            s.st != nil,
+		"campaigns_active": s.campaignsActive.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name string, v any) {
+		fmt.Fprintf(w, "radqecd_%s %v\n", name, v)
+	}
+	write("uptime_seconds", time.Since(s.start).Seconds())
+	write("workers", s.workers)
+	write("campaigns_total", s.campaignsTotal.Load())
+	write("campaigns_active", s.campaignsActive.Load())
+	write("campaign_errors_total", s.campaignErrors.Load())
+	write("points_computed_total", s.pointsComputed.Load())
+	write("points_cached_total", s.pointsCached.Load())
+	write("shots_computed_total", s.shotsComputed.Load())
+	if s.st != nil {
+		st := s.st.Stats()
+		write("store_commits", st.Commits)
+		write("store_checkpoints", st.Checkpoints)
+		write("store_segment_bytes", st.SegmentBytes)
+		write("store_hits_total", st.Hits)
+		write("store_misses_total", st.Misses)
+		write("store_resident", st.Resident)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

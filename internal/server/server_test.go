@@ -1,0 +1,359 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"radqec/internal/exp"
+	"radqec/internal/store"
+)
+
+// seed builds the request's optional seed field.
+func seed(v uint64) *uint64 { return &v }
+
+// newTestServer builds a server over a temp store and an httptest
+// frontend.
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: st, Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	})
+	return srv, ts, st
+}
+
+// submit posts a campaign and returns the decoded stream records.
+func submit(t *testing.T, ts *httptest.Server, req CampaignRequest) (points []exp.PointRecord, table exp.TableRecord) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawTable := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			t.Fatalf("stream line not JSON: %q", line)
+		}
+		switch kind.Type {
+		case "point":
+			var p exp.PointRecord
+			if err := json.Unmarshal(line, &p); err != nil {
+				t.Fatal(err)
+			}
+			points = append(points, p)
+		case "table":
+			if err := json.Unmarshal(line, &table); err != nil {
+				t.Fatal(err)
+			}
+			sawTable = true
+		default:
+			t.Fatalf("unexpected record type %q in %q", kind.Type, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTable {
+		t.Fatal("stream ended without a table record")
+	}
+	return points, table
+}
+
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v float64
+		if n, _ := fmt.Sscanf(sc.Text(), "radqecd_"+name+" %g", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestCampaignStreamMatchesDirectRun: the daemon's streamed table for
+// a campaign equals a direct library run with the same config, and a
+// warm re-submission replays entirely from the store without invoking
+// the engines.
+func TestCampaignStreamMatchesDirectRun(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	req := CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}
+
+	ref, err := exp.Threshold(exp.Config{Shots: 192, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	points, table := submit(t, ts, req)
+	if len(points) != 15 { // 5 phys rates x 3 distances
+		t.Fatalf("streamed %d points", len(points))
+	}
+	if table.Title != ref.Title || !reflect.DeepEqual(table.Rows, ref.Rows) || !reflect.DeepEqual(table.Notes, ref.Notes) {
+		t.Fatalf("streamed table diverged:\n%+v\nvs\n%+v", table, ref)
+	}
+	for _, p := range points {
+		if p.Cached {
+			t.Fatalf("cold run served cached point %s", p.Key)
+		}
+	}
+	computed := metricValue(t, ts, "points_computed_total")
+	if computed != 15 {
+		t.Fatalf("points_computed_total = %v", computed)
+	}
+
+	// Warm re-submission: identical table, zero engine work.
+	points2, table2 := submit(t, ts, req)
+	if !reflect.DeepEqual(table2.Rows, table.Rows) {
+		t.Fatal("warm table diverged from cold table")
+	}
+	for _, p := range points2 {
+		if !p.Cached {
+			t.Fatalf("warm run recomputed point %s", p.Key)
+		}
+	}
+	if got := metricValue(t, ts, "points_computed_total"); got != computed {
+		t.Fatalf("warm run advanced points_computed_total: %v -> %v", computed, got)
+	}
+	if got := metricValue(t, ts, "points_cached_total"); got != 15 {
+		t.Fatalf("points_cached_total = %v", got)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for name, req := range map[string]CampaignRequest{
+		"experiment": {Experiment: "nope"},
+		"engine":     {Experiment: "fig5", Engine: "warp"},
+		"decoder":    {Experiment: "fig5", Decoder: "oracle"},
+		"ci":         {Experiment: "fig5", CI: 0.7},
+		"rounds":     {Experiment: "fig5", Rounds: 1},
+		"p":          {Experiment: "fig5", P: 1.5},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Unknown body fields are rejected, catching client typos like
+	// "shot" for "shots" that would silently fall back to defaults.
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"experiment":"fig5","shot":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestSeedDefaultsToCLIDefault: an omitted seed matches the
+// CLI's -seed default (1), while an explicit zero stays zero.
+func TestRequestSeedDefaultsToCLIDefault(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if got := (CampaignRequest{Experiment: "fig5"}).config(s).Seed; got != 1 {
+		t.Fatalf("omitted seed = %d, want the CLI default 1", got)
+	}
+	if got := (CampaignRequest{Experiment: "fig5", Seed: seed(0)}).config(s).Seed; got != 0 {
+		t.Fatalf("explicit zero seed = %d, want 0", got)
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []experimentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(exp.Experiments()) {
+		t.Fatalf("experiments = %d", len(list))
+	}
+}
+
+func TestCacheEndpoints(t *testing.T) {
+	_, ts, st := newTestServer(t)
+	submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(5)})
+	if st.Stats().Commits != 15 {
+		t.Fatalf("commits = %d", st.Stats().Commits)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Commits != 15 {
+		t.Fatalf("stats over HTTP = %+v", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cache/entries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []store.Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 15 || entries[0].Key == "" {
+		t.Fatalf("entries = %d, first = %+v", len(entries), entries[0])
+	}
+
+	// Invalidate one point; the next submission recomputes exactly it.
+	doReq := func(method, path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp = doReq(http.MethodDelete, "/v1/cache/"+entries[0].Hash)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate status = %d", resp.StatusCode)
+	}
+	points, _ := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(5)})
+	var recomputed int
+	for _, p := range points {
+		if !p.Cached {
+			recomputed++
+		}
+	}
+	if recomputed != 1 {
+		t.Fatalf("recomputed %d points after one invalidation", recomputed)
+	}
+
+	// Compact, then clear.
+	resp = doReq(http.MethodPost, "/v1/cache/compact")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status = %d", resp.StatusCode)
+	}
+	resp = doReq(http.MethodDelete, "/v1/cache")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clear status = %d", resp.StatusCode)
+	}
+	if st.Stats().Commits != 0 {
+		t.Fatal("clear left commits behind")
+	}
+}
+
+func TestNoCacheRequestBypassesStore(t *testing.T) {
+	_, ts, st := newTestServer(t)
+	submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(5), NoCache: true})
+	if got := st.Stats().Commits; got != 0 {
+		t.Fatalf("no_cache campaign committed %d points", got)
+	}
+	points, _ := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(5)})
+	for _, p := range points {
+		if p.Cached {
+			t.Fatal("no_cache campaign warmed the store")
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Store  bool   `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Store {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestConcurrentCampaignsShareThePool: several clients at once all
+// complete and return correct, identical tables for identical
+// requests.
+func TestConcurrentCampaignsShareThePool(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	req := CampaignRequest{Experiment: "threshold", Shots: 128, Seed: seed(77)}
+	type out struct {
+		rows [][]string
+	}
+	results := make(chan out, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, table := submit(t, ts, req)
+			results <- out{rows: table.Rows}
+		}()
+	}
+	var first [][]string
+	for i := 0; i < 4; i++ {
+		select {
+		case r := <-results:
+			if first == nil {
+				first = r.rows
+			} else if !reflect.DeepEqual(first, r.rows) {
+				t.Fatal("concurrent identical campaigns returned different tables")
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("concurrent campaigns timed out")
+		}
+	}
+}

@@ -84,6 +84,12 @@ func CVaRSorted(sorted []float64, alpha float64) float64 {
 		s += sorted[i]
 		n++
 	}
+	if n == 0 {
+		// The interpolated quantile can land a few ULPs above the
+		// maximum when it interpolates between equal values; the tail
+		// is then just that maximum, not 0/0.
+		return sorted[len(sorted)-1]
+	}
 	return s / float64(n)
 }
 

@@ -129,6 +129,22 @@ func TestCVaR(t *testing.T) {
 	}
 }
 
+func TestCVaRNeverNaNOnTiedMaxima(t *testing.T) {
+	// Interpolating the quantile between the two equal maxima can land
+	// a few ULPs above them (0.7x + 0.3x > x in float64 for this x);
+	// CVaR must degrade to the maximum, never to 0/0.
+	x := 0.02992021276595745
+	xs := []float64{0.027327127659574468, 0.028804347826086957, 0.02892287234042553,
+		0.029055851063829786, 0.029321808510638297, 0.029787234042553193, x, x}
+	got := CVaRSorted(xs, 0.90)
+	if math.IsNaN(got) {
+		t.Fatal("CVaRSorted returned NaN on tied maxima")
+	}
+	if got != x {
+		t.Fatalf("CVaRSorted = %v, want the tied maximum %v", got, x)
+	}
+}
+
 func TestWilsonHalfWidth(t *testing.T) {
 	lo, hi := WilsonCI(30, 100)
 	if got := WilsonHalfWidth(30, 100); got != (hi-lo)/2 {

@@ -1,0 +1,49 @@
+// Package store persists sweep-point results on disk, content-
+// addressed by a canonical hash of each point's full spec. The segment
+// format is append-only NDJSON with batch-level checkpoints, so an
+// interrupted campaign resumes from its last batch boundary and a
+// crash can tear at most the final line (which recovery discards). An
+// in-memory LRU bounds the decoded records held resident, and
+// compaction rewrites the segment atomically.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalHash returns the content address of an arbitrary spec
+// value: the SHA-256 of its canonical JSON form. Canonicalisation
+// round-trips the value through an untyped decode and a re-encode, so
+// object keys are emitted sorted — two specs that differ only in field
+// order (or in the struct/map shape they were built from) hash
+// identically, while any value difference, however deep, changes the
+// hash.
+func CanonicalHash(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: marshal spec: %w", err)
+	}
+	return CanonicalHashJSON(raw)
+}
+
+// CanonicalHashJSON is CanonicalHash over an already-encoded JSON
+// document. Numbers are kept as their literal text (not round-tripped
+// through float64), so 64-bit seeds above 2^53 canonicalise exactly.
+func CanonicalHashJSON(raw []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return "", fmt.Errorf("store: canonicalize spec: %w", err)
+	}
+	canon, err := json.Marshal(v) // map keys sort on encode
+	if err != nil {
+		return "", fmt.Errorf("store: canonicalize spec: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-writer
+// discipline is then the operator's responsibility (the README notes
+// the lock is advisory and unix-only).
+func lockFile(*os.File) error { return nil }

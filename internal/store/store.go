@@ -1,0 +1,616 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"radqec/internal/sweep"
+)
+
+// SegmentName is the single append-only segment file inside a store
+// directory.
+const SegmentName = "segment.ndjson"
+
+// lockName is the sidecar file carrying the directory's single-writer
+// flock (the segment itself cannot carry it: compaction replaces its
+// inode).
+const lockName = "LOCK"
+
+// DefaultMaxCached bounds the decoded commit records held in memory
+// when Options.MaxCached is unset. Evicted records stay on disk and
+// reload on demand through their remembered segment offset.
+const DefaultMaxCached = 4096
+
+// ErrClosed is recorded when an operation reaches a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// record is one NDJSON segment line. Kind is "commit" (a final point
+// result), "ckpt" (batch-boundary progress of an unfinished point) or
+// "del" (a tombstone invalidating an earlier hash).
+type record struct {
+	Kind  string             `json:"kind"`
+	Hash  string             `json:"hash"`
+	Point *sweep.CachedPoint `json:"point,omitempty"`
+}
+
+// Options tunes a store.
+type Options struct {
+	// MaxCached bounds the decoded commit records held resident
+	// (<= 0 picks DefaultMaxCached). Checkpoints are always resident:
+	// they are small, transient, and needed for resume decisions.
+	MaxCached int
+}
+
+// Entry describes one committed point in the index.
+type Entry struct {
+	Hash  string `json:"hash"`
+	Key   string `json:"key,omitempty"`
+	Shots int    `json:"shots"`
+}
+
+// Stats is a point-in-time view of the store for health and metrics
+// reporting.
+type Stats struct {
+	Commits      int   `json:"commits"`
+	Checkpoints  int   `json:"checkpoints"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Resident     int   `json:"resident"`
+}
+
+// Store is a content-addressed, crash-safe result store over one
+// append-only NDJSON segment. All methods are safe for concurrent use;
+// it implements sweep.PointCache.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // O_APPEND handle; ReadAt for offset reloads
+	lock   *os.File // holds the directory's single-writer flock
+	size   int64    // current segment size == next append offset
+	closed bool
+	err    error // first write error, surfaced by Sync/Close
+
+	// commits indexes the latest commit record per hash by segment
+	// offset, with enough metadata to list entries without disk reads.
+	commits map[string]*commitEntry
+	// ckpts holds the latest checkpoint per hash lacking a commit.
+	ckpts map[string]sweep.CachedPoint
+	// lru is the resident subset of decoded commit points, most
+	// recently used at the tail.
+	lru *pointLRU
+
+	hits, misses int64
+}
+
+type commitEntry struct {
+	off   int64
+	key   string
+	shots int
+}
+
+// Open opens (creating if needed) the store in dir and replays its
+// segment into the in-memory index. A torn final line — the only
+// damage a crash mid-append can cause — is truncated away so the
+// segment stays appendable and every record before it survives.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxCached <= 0 {
+		opts.MaxCached = DefaultMaxCached
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One writer per directory: the CLI and the daemon share the store
+	// format, and two processes appending with independent offset maps
+	// would corrupt each other's index. The advisory lock turns that
+	// silent corruption into an immediate open error.
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is already open in another process (radqec -store and radqecd cannot share a directory concurrently): %w", dir, err)
+	}
+	path := filepath.Join(dir, SegmentName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		f:       f,
+		lock:    lock,
+		commits: make(map[string]*commitEntry),
+		ckpts:   make(map[string]sweep.CachedPoint),
+		lru:     newPointLRU(opts.MaxCached),
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the segment, building the index and truncating any torn
+// tail at the last whole-record boundary.
+func (s *Store) replay() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	br := bufio.NewReader(s.f)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn final line. Drop it.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: replay: %w", err)
+		}
+		var rec record
+		if json.Unmarshal(line, &rec) != nil {
+			// A torn write can only damage the tail; treat the first
+			// undecodable line as the end of the valid prefix.
+			break
+		}
+		s.apply(rec, off)
+		off += int64(len(line))
+	}
+	s.size = off
+	if fi, err := s.f.Stat(); err == nil && fi.Size() > off {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one replayed record into the index.
+func (s *Store) apply(rec record, off int64) {
+	switch rec.Kind {
+	case "commit":
+		if rec.Point == nil {
+			return
+		}
+		s.commits[rec.Hash] = &commitEntry{off: off, key: rec.Point.Key, shots: rec.Point.Shots}
+		s.lru.put(rec.Hash, *rec.Point)
+		delete(s.ckpts, rec.Hash)
+	case "ckpt":
+		if rec.Point == nil {
+			return
+		}
+		if _, committed := s.commits[rec.Hash]; !committed {
+			s.ckpts[rec.Hash] = *rec.Point
+		}
+	case "del":
+		delete(s.commits, rec.Hash)
+		delete(s.ckpts, rec.Hash)
+		s.lru.remove(rec.Hash)
+	}
+}
+
+// append writes one record line and returns its offset. The first
+// write failure sticks in s.err; later appends become no-ops so a full
+// disk degrades the store to a pass-through cache instead of a panic
+// in the sweep hot path.
+func (s *Store) append(rec record) (int64, bool) {
+	if s.closed {
+		s.setErr(ErrClosed)
+		return 0, false
+	}
+	if s.err != nil {
+		return 0, false
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		s.setErr(err)
+		return 0, false
+	}
+	line = append(line, '\n')
+	off := s.size
+	if _, err := s.f.Write(line); err != nil {
+		s.setErr(err)
+		return 0, false
+	}
+	s.size += int64(len(line))
+	return off, true
+}
+
+func (s *Store) setErr(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Lookup returns the committed result for a hash, reloading it from
+// the segment when LRU pressure evicted the decoded record.
+func (s *Store) Lookup(hash string) (sweep.CachedPoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ce, ok := s.commits[hash]
+	if !ok {
+		s.misses++
+		return sweep.CachedPoint{}, false
+	}
+	if p, ok := s.lru.get(hash); ok {
+		s.hits++
+		return p, true
+	}
+	p, err := s.readPointAt(ce.off, hash)
+	if err != nil {
+		// The index said committed but the segment disagrees — surface
+		// as a miss so the point recomputes; record the fault.
+		s.setErr(err)
+		s.misses++
+		return sweep.CachedPoint{}, false
+	}
+	s.lru.put(hash, p)
+	s.hits++
+	return p, true
+}
+
+// readPointAt decodes the record line starting at off and returns its
+// point payload after checking the hash matches.
+func (s *Store) readPointAt(off int64, hash string) (sweep.CachedPoint, error) {
+	r := bufio.NewReader(io.NewSectionReader(s.f, off, s.size-off))
+	line, err := r.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return sweep.CachedPoint{}, fmt.Errorf("store: reload %s: %w", hash, err)
+	}
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return sweep.CachedPoint{}, fmt.Errorf("store: reload %s: %w", hash, err)
+	}
+	if rec.Hash != hash || rec.Point == nil {
+		return sweep.CachedPoint{}, fmt.Errorf("store: reload %s: offset holds %q", hash, rec.Hash)
+	}
+	return *rec.Point, nil
+}
+
+// LookupPartial returns the latest checkpoint of an uncommitted hash.
+func (s *Store) LookupPartial(hash string) (sweep.CachedPoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ckpts[hash]
+	return p, ok
+}
+
+// Checkpoint appends batch-boundary progress for a hash.
+func (s *Store) Checkpoint(hash string, p sweep.CachedPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.append(record{Kind: "ckpt", Hash: hash, Point: &p}); ok {
+		s.ckpts[hash] = p
+	}
+}
+
+// Commit appends the final result for a hash, superseding its
+// checkpoints.
+func (s *Store) Commit(hash string, p sweep.CachedPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off, ok := s.append(record{Kind: "commit", Hash: hash, Point: &p}); ok {
+		s.commits[hash] = &commitEntry{off: off, key: p.Key, shots: p.Shots}
+		s.lru.put(hash, p)
+		delete(s.ckpts, hash)
+	}
+}
+
+// Invalidate drops one hash, appending a tombstone so the deletion
+// survives restarts until the next compaction folds it away.
+func (s *Store) Invalidate(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, hadCommit := s.commits[hash]
+	_, hadCkpt := s.ckpts[hash]
+	if !hadCommit && !hadCkpt {
+		return false
+	}
+	if _, ok := s.append(record{Kind: "del", Hash: hash}); ok {
+		delete(s.commits, hash)
+		delete(s.ckpts, hash)
+		s.lru.remove(hash)
+		return true
+	}
+	return false
+}
+
+// Clear empties the store, atomically replacing the segment. The disk
+// rewrite happens first: if it fails, the in-memory index still
+// matches the (unchanged) segment instead of silently diverging until
+// the next reopen resurrects everything.
+func (s *Store) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.rewriteLocked(nil); err != nil {
+		return err
+	}
+	s.commits = make(map[string]*commitEntry)
+	s.ckpts = make(map[string]sweep.CachedPoint)
+	s.lru = newPointLRU(s.opts.MaxCached)
+	return nil
+}
+
+// Compact rewrites the segment to its live records only — the latest
+// commit per hash plus the latest checkpoint of every uncommitted hash
+// — via a temp file and an atomic rename, so readers of the directory
+// always see a whole segment.
+//
+// Uncommitted checkpoints survive compaction deliberately: they are
+// what makes a killed campaign resumable. The cost is that a
+// checkpoint whose campaign is never resumed (e.g. its shot policy
+// changed, moving the content hash) lingers until it is invalidated
+// or the store is cleared; checkpoints are small, but a long-lived
+// store that accumulates many abandoned ones reclaims them with
+// Invalidate/Clear.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	hashes := make([]string, 0, len(s.commits))
+	for h := range s.commits {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	recs := make([]record, 0, len(hashes)+len(s.ckpts))
+	for _, h := range hashes {
+		ce := s.commits[h]
+		p, ok := s.lru.get(h)
+		if !ok {
+			var err error
+			p, err = s.readPointAt(ce.off, h)
+			if err != nil {
+				return err
+			}
+		}
+		pt := p
+		recs = append(recs, record{Kind: "commit", Hash: h, Point: &pt})
+	}
+	ckptHashes := make([]string, 0, len(s.ckpts))
+	for h := range s.ckpts {
+		ckptHashes = append(ckptHashes, h)
+	}
+	sort.Strings(ckptHashes)
+	for _, h := range ckptHashes {
+		pt := s.ckpts[h]
+		recs = append(recs, record{Kind: "ckpt", Hash: h, Point: &pt})
+	}
+	return s.rewriteLocked(recs)
+}
+
+// rewriteLocked atomically replaces the segment with the given records
+// and reindexes the commit offsets against the new layout.
+func (s *Store) rewriteLocked(recs []record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	path := filepath.Join(s.dir, SegmentName)
+	tmp, err := os.CreateTemp(s.dir, SegmentName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	offsets := make(map[string]int64, len(recs))
+	var off int64
+	for i := range recs {
+		line, err := json.Marshal(recs[i])
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if recs[i].Kind == "commit" {
+			offsets[recs[i].Hash] = off
+		}
+		off += int64(len(line))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rename already happened: the old handle points at an
+		// unlinked inode, so appending to it would silently lose every
+		// later record. Poison the store instead — appends drop and
+		// Err/Sync/Close surface the fault.
+		err = fmt.Errorf("store: compact: reopen after rename: %w", err)
+		s.setErr(err)
+		s.closed = true
+		s.f.Close()
+		return err
+	}
+	s.f.Close()
+	s.f = f
+	s.size = off
+	for h, ce := range s.commits {
+		ce.off = offsets[h]
+	}
+	return nil
+}
+
+// Entries lists the committed points, hash-sorted.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.commits))
+	for h, ce := range s.commits {
+		out = append(out, Entry{Hash: h, Key: ce.key, Shots: ce.shots})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// Stats reports the store's current shape and traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Commits:      len(s.commits),
+		Checkpoints:  len(s.ckpts),
+		SegmentBytes: s.size,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Resident:     s.lru.len(),
+	}
+}
+
+// Err returns the first write error the store swallowed on the sweep
+// hot path, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Sync flushes the segment to stable storage and surfaces any
+// swallowed write error.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.setErr(err)
+	}
+	return s.err
+}
+
+// Close syncs and closes the segment. Appends after Close are dropped
+// (recorded as ErrClosed), so a signal handler can Close concurrently
+// with in-flight sweep workers.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.setErr(err)
+	}
+	if err := s.f.Close(); err != nil {
+		s.setErr(err)
+	}
+	s.lock.Close() // releases the directory's single-writer flock
+	return s.err
+}
+
+// pointLRU is a bounded hash → point map with least-recently-used
+// eviction, implemented over an intrusive doubly linked list.
+type pointLRU struct {
+	cap   int
+	items map[string]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // next to evict
+}
+
+type lruNode struct {
+	hash       string
+	point      sweep.CachedPoint
+	prev, next *lruNode
+}
+
+func newPointLRU(capacity int) *pointLRU {
+	return &pointLRU{cap: capacity, items: make(map[string]*lruNode)}
+}
+
+func (l *pointLRU) len() int { return len(l.items) }
+
+func (l *pointLRU) get(hash string) (sweep.CachedPoint, bool) {
+	n, ok := l.items[hash]
+	if !ok {
+		return sweep.CachedPoint{}, false
+	}
+	l.moveFront(n)
+	return n.point, true
+}
+
+func (l *pointLRU) put(hash string, p sweep.CachedPoint) {
+	if n, ok := l.items[hash]; ok {
+		n.point = p
+		l.moveFront(n)
+		return
+	}
+	n := &lruNode{hash: hash, point: p}
+	l.items[hash] = n
+	l.pushFront(n)
+	if len(l.items) > l.cap {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.items, evict.hash)
+	}
+}
+
+func (l *pointLRU) remove(hash string) {
+	if n, ok := l.items[hash]; ok {
+		l.unlink(n)
+		delete(l.items, hash)
+	}
+}
+
+func (l *pointLRU) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *pointLRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *pointLRU) moveFront(n *lruNode) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}

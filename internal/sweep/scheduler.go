@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scheduler owns a fixed pool of point workers and multiplexes any
+// number of concurrent sweeps over it. Each Run enqueues its points as
+// one campaign; workers hand out points round-robin across the active
+// campaigns, so N concurrent clients share the pool fairly instead of
+// each spawning its own worker set and oversubscribing the CPU. A lone
+// campaign still gets the whole pool.
+//
+// Point results are pure functions of (Config, Point) — the
+// determinism contract of Run — so interleaving campaigns changes only
+// wall-clock time and completion order, never the results.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queues holds the active campaigns in service order: a campaign
+	// moves to the back each time it is handed a point, and a new
+	// campaign (zero service so far) enters at the front — so point
+	// handouts alternate across campaigns regardless of arrival order
+	// or campaign length.
+	queues []*schedQueue
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// schedQueue is one campaign's slice of the pool.
+type schedQueue struct {
+	cfg     Config
+	points  []Point
+	results []Result
+	next    int // next point index to hand out
+	running int // points of this campaign currently executing
+	pending int // points not yet completed
+	done    chan struct{}
+	// resMu serialises this campaign's OnResult calls, matching the
+	// single-campaign Run contract; campaigns do not block each other.
+	resMu sync.Mutex
+}
+
+// NewScheduler starts a pool of the given size (0 picks GOMAXPROCS).
+// Close releases the workers.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Active returns the number of campaigns currently holding points in
+// the pool — the denominator callers use to split shot-level
+// parallelism budgets so overlapping campaigns stay within the CPU
+// budget.
+func (s *Scheduler) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues)
+}
+
+// Close stops the workers after their in-flight points finish. Runs
+// still queued complete first: Close only blocks new point handouts
+// once every active campaign has drained.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Run executes one campaign on the shared pool and returns results in
+// input order, exactly like the package-level Run. Concurrent Runs are
+// interleaved fairly. cfg.Workers caps how many of this campaign's
+// points execute at once within the pool.
+func (s *Scheduler) Run(cfg Config, points []Point) []Result {
+	cfg = cfg.withDefaults()
+	results := make([]Result, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	q := &schedQueue{
+		cfg:     cfg,
+		points:  points,
+		results: results,
+		pending: len(points),
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("sweep: Run on closed Scheduler")
+	}
+	s.queues = append([]*schedQueue{q}, s.queues...)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	<-q.done
+	return results
+}
+
+// worker executes points handed out by take until the pool closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	var scratch []float64 // reused sorted buffer for tail stats
+	for {
+		q, i := s.take()
+		if q == nil {
+			return
+		}
+		r := runPoint(q.cfg, q.points[i], &scratch)
+		q.results[i] = r
+		s.complete(q, r)
+	}
+}
+
+// take claims the next runnable point from the least-recently-served
+// eligible campaign, which then rotates to the back of the service
+// order. It blocks while every campaign is drained or at its
+// per-campaign worker cap, and returns nil once the pool is closed and
+// no campaign remains.
+func (s *Scheduler) take() (*schedQueue, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for idx, q := range s.queues {
+			if q.next < len(q.points) && q.running < q.cfg.Workers {
+				copy(s.queues[idx:], s.queues[idx+1:])
+				s.queues[len(s.queues)-1] = q
+				i := q.next
+				q.next++
+				q.running++
+				return q, i
+			}
+		}
+		if s.closed && len(s.queues) == 0 {
+			return nil, 0
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete folds one finished point back into its campaign, delivers
+// OnResult, and retires the campaign when its last point lands.
+func (s *Scheduler) complete(q *schedQueue, r Result) {
+	if q.cfg.OnResult != nil {
+		q.resMu.Lock()
+		q.cfg.OnResult(r)
+		q.resMu.Unlock()
+	}
+	s.mu.Lock()
+	q.running--
+	q.pending--
+	finished := q.pending == 0
+	if finished {
+		for i, o := range s.queues {
+			if o == q {
+				s.queues = append(s.queues[:i], s.queues[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast() // a worker slot or the closed pool may now drain
+	if finished {
+		close(q.done)
+	}
+}

@@ -17,7 +17,6 @@ package sweep
 import (
 	"runtime"
 	"sort"
-	"sync"
 
 	"radqec/internal/stats"
 )
@@ -50,6 +49,12 @@ type BatchRunner func(start, n int) Counts
 type Point struct {
 	// Key identifies the point in results and streaming output.
 	Key string
+	// Hash, when non-empty, is the content address of the point's full
+	// spec (circuit, fault, seed, engine, decoder, shot policy). Points
+	// with a hash participate in Config.Cache: a committed result is
+	// returned without calling Prepare, and batch-boundary checkpoints
+	// make an interrupted point resumable.
+	Hash string
 	// Prepare builds the point's batch runner. It is called exactly
 	// once, lazily, on the worker that owns the point, so expensive
 	// per-point state (executors, decode graphs, pooled simulators) is
@@ -86,6 +91,51 @@ type Config struct {
 	// Calls are serialised; completion order depends on scheduling even
 	// though the results themselves do not.
 	OnResult func(Result)
+	// Cache, when set, persists point progress for the points that carry
+	// a content hash: committed results short-circuit the point without
+	// calling Prepare, and every completed batch is checkpointed so a
+	// killed sweep can resume mid-point. Results are unchanged by the
+	// cache — a hit replays exactly what an uninterrupted run produced.
+	Cache PointCache
+	// Resume consumes batch-level checkpoints for points the cache holds
+	// partial progress on: the point restarts from the last batch
+	// boundary via the BatchRunner's (start, n) contract instead of from
+	// shot zero. Committed results are served regardless of Resume.
+	Resume bool
+	// Scheduler, when set, runs the sweep's points on this shared worker
+	// pool (fair across concurrent campaigns) instead of a private one.
+	Scheduler *Scheduler
+}
+
+// PointCache persists per-point progress keyed by the point's content
+// hash. Implementations must be safe for concurrent use by the sweep
+// workers; the disk-backed implementation lives in package store.
+type PointCache interface {
+	// Lookup returns the committed final result for a hash.
+	Lookup(hash string) (CachedPoint, bool)
+	// LookupPartial returns the latest batch-boundary checkpoint for a
+	// hash that has no committed result yet.
+	LookupPartial(hash string) (CachedPoint, bool)
+	// Checkpoint records progress at a batch boundary.
+	Checkpoint(hash string, p CachedPoint)
+	// Commit records the final result, superseding any checkpoint.
+	Commit(hash string, p CachedPoint)
+}
+
+// CachedPoint is the persisted view of a point's progress: the raw
+// counts and the per-batch rate stream — everything needed to resume
+// the shot loop or to rematerialise a Result (the Wilson interval and
+// tail statistics are recomputed on load, so a replayed result is
+// identical to the one originally computed).
+type CachedPoint struct {
+	// Key is the point's human-readable key, carried for cache
+	// listings; it never feeds back into a replayed Result (the hash,
+	// which embeds the key, already guarantees they match).
+	Key        string    `json:"key,omitempty"`
+	Shots      int       `json:"shots"`
+	Errors     int       `json:"errors"`
+	BatchRates []float64 `json:"batch_rates,omitempty"`
+	Converged  bool      `json:"converged,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +188,9 @@ type Result struct {
 	// Converged reports whether the Wilson half-width target was met
 	// (always true in fixed mode, which has no target).
 	Converged bool
+	// Cached reports that the result was served from Config.Cache
+	// without running the point's campaign.
+	Cached bool
 }
 
 // HalfWidth returns half the Wilson interval width.
@@ -170,55 +223,88 @@ func WorstCaseShots(ci float64) int {
 
 // Run executes every point and returns results in input order. The
 // results are independent of cfg.Workers; only wall-clock time and
-// OnResult delivery order vary with it.
+// OnResult delivery order vary with it. With cfg.Scheduler set the
+// points run on that shared pool; otherwise a private pool is spun up
+// for the call, the classic single-campaign behaviour.
 func Run(cfg Config, points []Point) []Result {
 	cfg = cfg.withDefaults()
-	results := make([]Result, len(points))
+	if cfg.Scheduler != nil {
+		return cfg.Scheduler.Run(cfg, points)
+	}
 	workers := cfg.Workers
 	if workers > len(points) {
 		workers = len(points)
 	}
 	if workers == 0 {
-		return results
+		return make([]Result, len(points))
 	}
-	var (
-		mu   sync.Mutex // serialises OnResult
-		wg   sync.WaitGroup
-		next = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var scratch []float64 // reused sorted buffer for tail stats
-			for i := range next {
-				r := runPoint(cfg, points[i], &scratch)
-				results[i] = r
-				if cfg.OnResult != nil {
-					mu.Lock()
-					cfg.OnResult(r)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range points {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return results
+	s := NewScheduler(workers)
+	defer s.Close()
+	return s.Run(cfg, points)
 }
 
-// runPoint drives one point to its stopping rule.
+// runPoint drives one point to its stopping rule, through the cache
+// when the point is content-addressed: a committed result short-
+// circuits the campaign entirely, a checkpoint (under cfg.Resume)
+// restarts the shot loop at the last batch boundary, and every batch
+// the loop completes is checkpointed back.
 func runPoint(cfg Config, p Point, scratch *[]float64) Result {
-	run := p.Prepare()
 	r := Result{Key: p.Key}
-	if cfg.CI <= 0 {
-		r.Converged = runFixed(cfg, run, &r)
-	} else {
-		r.Converged = runAdaptive(cfg, run, &r)
+	cache := cfg.Cache
+	if p.Hash == "" {
+		cache = nil
 	}
+	if cache != nil {
+		if cp, ok := cache.Lookup(p.Hash); ok {
+			r.loadCached(cp)
+			r.Cached = true
+			return r.finalize(scratch)
+		}
+		if cfg.Resume {
+			if cp, ok := cache.LookupPartial(p.Hash); ok {
+				r.loadCached(cp)
+			}
+		}
+	}
+	save := func() {
+		if cache != nil {
+			cache.Checkpoint(p.Hash, r.cachedPoint())
+		}
+	}
+	run := p.Prepare()
+	if cfg.CI <= 0 {
+		r.Converged = runFixed(cfg, run, &r, save)
+	} else {
+		r.Converged = runAdaptive(cfg, run, &r, save)
+	}
+	if cache != nil {
+		cache.Commit(p.Hash, r.cachedPoint())
+	}
+	return r.finalize(scratch)
+}
+
+// loadCached restores the persisted progress of a point.
+func (r *Result) loadCached(cp CachedPoint) {
+	r.Shots, r.Errors = cp.Shots, cp.Errors
+	r.BatchRates = append([]float64(nil), cp.BatchRates...)
+	r.Converged = cp.Converged
+}
+
+// cachedPoint is the persisted view of the result's current progress.
+func (r *Result) cachedPoint() CachedPoint {
+	return CachedPoint{
+		Key:        r.Key,
+		Shots:      r.Shots,
+		Errors:     r.Errors,
+		BatchRates: r.BatchRates,
+		Converged:  r.Converged,
+	}
+}
+
+// finalize derives the interval and tail statistics from the counts
+// and batch stream — the same computation whether the point ran live,
+// resumed, or replayed from the cache.
+func (r Result) finalize(scratch *[]float64) Result {
 	r.CILo, r.CIHi = stats.WilsonCI(r.Errors, r.Shots)
 	r.Tail = tailOf(r.BatchRates, scratch)
 	return r
@@ -226,8 +312,10 @@ func runPoint(cfg Config, p Point, scratch *[]float64) Result {
 
 // runFixed executes exactly cfg.Shots shots, split into batches only so
 // the per-batch tail statistics exist; the merged counts equal a single
-// contiguous run by the BatchRunner contract.
-func runFixed(cfg Config, run BatchRunner, r *Result) bool {
+// contiguous run by the BatchRunner contract. A resumed result enters
+// with its checkpointed shots already recorded and the loop continues
+// from that boundary.
+func runFixed(cfg Config, run BatchRunner, r *Result, save func()) bool {
 	batch := (cfg.Shots + fixedBatches - 1) / fixedBatches
 	if batch < 1 {
 		batch = 1
@@ -239,6 +327,11 @@ func runFixed(cfg Config, run BatchRunner, r *Result) bool {
 			n = batch
 		}
 		r.record(run(r.Shots, n))
+		if r.Shots < cfg.Shots {
+			// The final batch skips the checkpoint: the commit that
+			// follows immediately carries the identical state.
+			save()
+		}
 	}
 	return true
 }
@@ -249,17 +342,28 @@ const fixedBatches = 8
 
 // runAdaptive adds batches until the Wilson half-width target is met or
 // the cap is exhausted, sizing each batch from the current rate estimate
-// so most points need only two or three allocation rounds.
-func runAdaptive(cfg Config, run BatchRunner, r *Result) bool {
+// so most points need only two or three allocation rounds. The stopping
+// rule is evaluated at the top of the loop so a resumed point whose
+// checkpoint already satisfies the target (killed between its last
+// batch and the commit) stops without running an extra batch the
+// uninterrupted campaign never ran.
+func runAdaptive(cfg Config, run BatchRunner, r *Result, save func()) bool {
 	for {
+		if r.Shots > 0 && stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI {
+			return true
+		}
 		n := nextBatch(cfg, r.Counts)
 		if n == 0 {
 			return false // cap reached before the target
 		}
 		r.record(run(r.Shots, n))
-		if stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI {
-			return true
+		if stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI || r.Shots >= cfg.MaxShots {
+			// Converged (or cap spent): the loop exits on its next
+			// check, and the commit carries this exact state — no
+			// checkpoint needed.
+			continue
 		}
+		save()
 	}
 }
 

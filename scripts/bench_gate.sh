@@ -14,6 +14,25 @@ old=${1:?usage: bench_gate.sh OLD.bench NEW.bench [MAX_RATIO]}
 new=${2:?usage: bench_gate.sh OLD.bench NEW.bench [MAX_RATIO]}
 max_ratio=${3:-1.25}
 
+# A missing or empty artifact means a bench job upstream broke or an
+# upload/download step dropped the file; fail with a message naming the
+# side and the file instead of handing awk nothing to parse.
+for side in old new; do
+  file=${!side}
+  if [ ! -e "$file" ]; then
+    echo "bench_gate: $side bench artifact missing: $file" >&2
+    exit 2
+  fi
+  if [ ! -s "$file" ]; then
+    echo "bench_gate: $side bench artifact empty: $file" >&2
+    exit 2
+  fi
+  if ! grep -q '^Benchmark' "$file"; then
+    echo "bench_gate: $side bench artifact has no benchmark lines: $file (did the bench run fail?)" >&2
+    exit 2
+  fi
+done
+
 awk -v max_ratio="$max_ratio" -v oldfile="$old" -v newfile="$new" '
   # Benchmark result lines: "BenchmarkName-8  N  12345 ns/op  ...".
   # CPU-count suffixes are stripped so the gate survives runner drift.

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# daemon_smoke.sh [BIN_DIR]
+#
+# End-to-end smoke test of the campaign daemon against the CLI:
+#
+#   1. start radqecd on a free port with a temp store
+#   2. run the same small fig5 campaign through the CLI (no store) and
+#      through the daemon, and assert the streamed tables and per-point
+#      records match exactly (point order is scheduling-dependent, so
+#      points compare keyed; elapsed_ms is timing, so it is stripped)
+#   3. re-submit the campaign and assert a full cache hit: every point
+#      streams back flagged cached and the daemon's engine counter
+#      (radqecd_points_computed_total) does not advance
+#   4. SIGTERM the daemon and require a clean exit
+#
+# Builds into BIN_DIR (default: a temp dir). Needs python3 and curl.
+set -euo pipefail
+
+SHOTS=2000
+SEED=7
+EXPERIMENT=fig5
+
+bindir=${1:-}
+workdir=$(mktemp -d)
+cleanup() {
+  if [[ -n "${daemon_pid:-}" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+if [[ -z "$bindir" ]]; then
+  bindir="$workdir/bin"
+fi
+mkdir -p "$bindir"
+
+echo "== building radqec + radqecd"
+go build -o "$bindir/" ./cmd/radqec ./cmd/radqecd
+
+port=$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')
+addr="127.0.0.1:$port"
+
+echo "== starting radqecd on $addr"
+"$bindir/radqecd" -addr "$addr" -store "$workdir/store" >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon_smoke: radqecd died on startup" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null || {
+  echo "daemon_smoke: daemon never became healthy" >&2; exit 1; }
+
+echo "== CLI reference run"
+"$bindir/radqec" -shots "$SHOTS" -seed "$SEED" -json "$EXPERIMENT" \
+  >"$workdir/cli.ndjson" 2>/dev/null
+
+body=$(printf '{"experiment":"%s","shots":%d,"seed":%d}' "$EXPERIMENT" "$SHOTS" "$SEED")
+
+echo "== cold daemon submission"
+curl -fsS -X POST "http://$addr/v1/campaigns" -d "$body" >"$workdir/cold.ndjson"
+computed_cold=$(curl -fsS "http://$addr/metrics" | awk '/^radqecd_points_computed_total /{print $2}')
+
+echo "== warm daemon re-submission (must be a full cache hit)"
+curl -fsS -X POST "http://$addr/v1/campaigns" -d "$body" >"$workdir/warm.ndjson"
+computed_warm=$(curl -fsS "http://$addr/metrics" | awk '/^radqecd_points_computed_total /{print $2}')
+
+python3 - "$workdir" "$computed_cold" "$computed_warm" <<'EOF'
+import json, sys
+workdir, computed_cold, computed_warm = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def load(name):
+    points, tables = {}, []
+    with open(f"{workdir}/{name}.ndjson") as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec["type"] == "point":
+                cached = rec.pop("cached", False)
+                points[rec["key"]] = (rec, cached)
+            elif rec["type"] == "table":
+                rec.pop("elapsed_ms")
+                tables.append(rec)
+            else:
+                sys.exit(f"unexpected record type {rec['type']!r} in {name}")
+    if len(tables) != 1:
+        sys.exit(f"{name}: {len(tables)} table records")
+    return points, tables[0]
+
+cli_pts, cli_tab = load("cli")
+cold_pts, cold_tab = load("cold")
+warm_pts, warm_tab = load("warm")
+
+if cold_tab != cli_tab:
+    sys.exit("cold daemon table differs from CLI table")
+if warm_tab != cli_tab:
+    sys.exit("warm daemon table differs from CLI table")
+if set(cold_pts) != set(cli_pts):
+    sys.exit("cold daemon streamed different point keys than the CLI")
+for key, (rec, _) in cli_pts.items():
+    if cold_pts[key][0] != rec:
+        sys.exit(f"cold daemon point {key} differs from CLI")
+    if warm_pts[key][0] != rec:
+        sys.exit(f"warm daemon point {key} differs from CLI")
+if any(cached for _, cached in cold_pts.values()):
+    sys.exit("cold run served cached points from a fresh store")
+if not all(cached for _, cached in warm_pts.values()):
+    n = sum(1 for _, c in warm_pts.values() if not c)
+    sys.exit(f"warm run recomputed {n} points (expected full cache hit)")
+if computed_warm != computed_cold:
+    sys.exit(f"warm run invoked the engine: points_computed_total "
+             f"{computed_cold} -> {computed_warm}")
+print(f"daemon_smoke: {len(cli_pts)} points: daemon==CLI, "
+      f"warm re-submission was a full cache hit ({computed_cold} computed)")
+EOF
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "daemon_smoke: daemon ignored SIGTERM" >&2
+  exit 1
+fi
+wait "$daemon_pid" && status=0 || status=$?
+if [[ "$status" -ne 0 ]]; then
+  echo "daemon_smoke: daemon exited $status on SIGTERM" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+fi
+unset daemon_pid
+echo "daemon_smoke: PASS"
