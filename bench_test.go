@@ -10,9 +10,12 @@
 package radqec
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"radqec/internal/arch"
+	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
 	"radqec/internal/frame"
@@ -21,6 +24,7 @@ import (
 	"radqec/internal/noise"
 	"radqec/internal/qec"
 	"radqec/internal/rng"
+	"radqec/internal/store"
 	"radqec/internal/sweep"
 )
 
@@ -267,7 +271,7 @@ func BenchmarkSweepFixed(b *testing.B) {
 	pts := sweepBenchPoints(b) // Prepare re-runs per sweep, so reuse is safe
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sweep.Run(sweep.Config{Shots: shots}, pts)
+		_ = sweep.Run(sweep.Config{Policy: sweep.Policy{Shots: shots}}, pts)
 	}
 }
 
@@ -275,8 +279,80 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 	pts := sweepBenchPoints(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sweep.Run(sweep.Config{CI: 0.05}, pts)
+		_ = sweep.Run(sweep.Config{Policy: sweep.Policy{CI: 0.05}}, pts)
 	}
+}
+
+// Mixed heterogeneous campaigns on one shared pool against a cold
+// store — the daemon's steady-state shape: a duplicated fig5 repetition
+// campaign (the single-flight dedup target), a fig6 XXZZ campaign and a
+// multi-round memory campaign, all concurrent. The acceptance metric is
+// the Controller variant's aggregate shots/s: >= 1.3x the Static
+// scheduler's on this mix, because identical in-flight points are
+// computed once and replayed to the duplicate while static campaigns
+// race each other through the same points.
+func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A bounded pool keeps the campaigns contending for workers — the
+		// regime the controller's single-flight, priorities and weighting
+		// are for. The memory campaign is resubmitted identically three
+		// times, the cold-daemon burst the single-flight satellite targets:
+		// its uniform point costs keep the copies in lockstep, so the
+		// static path recomputes in-flight duplicates the cache cannot yet
+		// serve, while controller followers park on the leader's hash and
+		// replay its commit.
+		sched := sweep.NewScheduler(4)
+		b.StartTimer()
+
+		base := exp.Config{Seed: 11, NS: 4, Workers: 2, Scheduler: sched, Cache: st, Control: pol,
+			OnPoint: func(r sweep.Result) { atomic.AddInt64(delivered, int64(r.Shots)) }}
+		var wg sync.WaitGroup
+		run := func(name string, cfg exp.Config) {
+			defer wg.Done()
+			e, ok := exp.Find(name)
+			if !ok {
+				b.Errorf("experiment %s not registered", name)
+				return
+			}
+			if _, err := e.Run(cfg); err != nil {
+				b.Error(err)
+			}
+		}
+		fig5 := base
+		fig5.Shots = 1024
+		fig6 := base
+		fig6.Shots = 128
+		mem := base
+		mem.Shots = 2048
+		wg.Add(5)
+		go run("fig5", fig5)
+		go run("fig6", fig6)
+		go run("memory", mem)
+		go run("memory", mem) // identical resubmissions: dedup under
+		go run("memory", mem) // single-flight on the cold daemon
+		wg.Wait()
+
+		b.StopTimer()
+		sched.Close()
+		st.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(atomic.LoadInt64(delivered))/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkSweepMixedCampaignsStatic(b *testing.B) {
+	var shots int64
+	benchMixedCampaigns(b, nil, &shots)
+}
+
+func BenchmarkSweepMixedCampaignsController(b *testing.B) {
+	var shots int64
+	benchMixedCampaigns(b, control.Default(), &shots)
 }
 
 // Engine benches: the Fig. 5 repetition-code campaign grid (8 physical

@@ -39,6 +39,18 @@
 //	             radqecd daemon serves
 //	-resume      with -store, pick interrupted points back up at their
 //	             last checkpointed batch instead of shot zero
+//	-controller on|off  score-driven batch/allocation controller
+//	             (default on): telemetry-scored chunk sizing, priority
+//	             handouts and tail-aware shot allocation. Tables are
+//	             byte-identical either way — the controller only
+//	             reorders mechanism, never policy
+//	-dwell N     policy batches the controller holds a chunk size
+//	             before re-scoring (default 4; higher = calmer)
+//	-hysteresis H  relative score advantage a challenger chunk size
+//	             needs to displace the incumbent (default 0.15)
+//	-stats       print a per-experiment telemetry summary to stderr:
+//	             shots/s, chunk/batch counts, cache traffic, allocation
+//	             and the engine-routing decision
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile after the run to F
 //	-csv         emit CSV instead of aligned text
@@ -66,10 +78,12 @@ import (
 	"syscall"
 	"time"
 
+	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
+	"radqec/internal/telemetry"
 )
 
 func main() {
@@ -85,6 +99,10 @@ func main() {
 	maxShots := flag.Int("maxshots", 0, "adaptive per-point shot cap (0 = worst-case count for -ci)")
 	storeDir := flag.String("store", "", "content-addressed result store directory (empty disables caching)")
 	resume := flag.Bool("resume", false, "with -store, resume interrupted points from their last checkpoint")
+	controller := flag.String("controller", "on", "score-driven batch/allocation controller: on or off")
+	dwell := flag.Int("dwell", 4, "policy batches the controller holds a chunk size before re-scoring")
+	hysteresis := flag.Float64("hysteresis", 0.15, "relative score advantage needed to displace the incumbent chunk size")
+	statsOut := flag.Bool("stats", false, "print a per-experiment telemetry summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the experiment run to this file")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -134,6 +152,15 @@ func main() {
 	if *resume && *storeDir == "" {
 		usageError("-resume requires -store DIR")
 	}
+	if *controller != "on" && *controller != "off" {
+		usageError(fmt.Sprintf("-controller %q out of range (want on or off)", *controller))
+	}
+	if *dwell < 1 {
+		usageError(fmt.Sprintf("-dwell %d out of range (want >= 1 policy batches)", *dwell))
+	}
+	if *hysteresis < 0 || *hysteresis >= 1 {
+		usageError(fmt.Sprintf("-hysteresis %g out of range (want 0 <= hysteresis < 1)", *hysteresis))
+	}
 	cfg := exp.Config{
 		Shots:    *shots,
 		Seed:     *seed,
@@ -146,6 +173,9 @@ func main() {
 		Engine:   *engine,
 		Decoder:  *decoder,
 		Resume:   *resume,
+	}
+	if *controller == "on" {
+		cfg.Control = &control.Policy{Enabled: true, Dwell: *dwell, Hysteresis: *hysteresis}
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})
@@ -255,6 +285,7 @@ func main() {
 		}
 	}
 	enc := json.NewEncoder(out)
+	var campaignID int64
 	for _, e := range selected {
 		if *jsonOut {
 			// The sweep engine serialises OnResult calls, so the encoder
@@ -266,10 +297,19 @@ func main() {
 				}
 			}
 		}
+		if *statsOut {
+			campaignID++
+			cfg.Telemetry = telemetry.NewCampaign(campaignID, e.Name)
+		}
 		start := time.Now()
 		tab, err := e.Run(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if tel := cfg.Telemetry; tel != nil {
+			tel.Finish()
+			printStats(tel.Stats())
+			cfg.Telemetry = nil
 		}
 		switch {
 		case *jsonOut:
@@ -282,6 +322,24 @@ func main() {
 			tab.WriteText(out)
 			fmt.Fprintf(out, "(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+}
+
+// printStats writes the -stats telemetry summary for one experiment to
+// stderr: aggregate engine throughput, chunk/batch counts, cache
+// traffic, allocation pressure and the engine-routing decision.
+func printStats(st telemetry.Stats) {
+	fmt.Fprintf(os.Stderr,
+		"radqec: %s: %d shots (%d errors) over %d points in %d chunks / %d batches; %.3g shots/s engine throughput; cache %d hits / %d misses; %.1f MiB allocated\n",
+		st.Experiment, st.Shots, st.Errors, st.PointsDone, st.Chunks, st.Batches,
+		st.ShotsPerSec, st.CacheHits, st.CacheMisses, float64(st.AllocBytes)/(1<<20))
+	if st.ChunkSize > 0 {
+		fmt.Fprintf(os.Stderr, "radqec: %s: controller chunk size %d (dwell %d left)\n",
+			st.Experiment, st.ChunkSize, st.DwellLeft)
+	}
+	if r := st.Route; r != nil {
+		fmt.Fprintf(os.Stderr, "radqec: %s: engine %s -> %s (%s)\n",
+			st.Experiment, r.Requested, r.Resolved, r.Reason)
 	}
 }
 

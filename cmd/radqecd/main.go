@@ -19,6 +19,14 @@
 //	                 all concurrent campaigns are multiplexed fairly
 //	                 over this one budget
 //	-lru N           decoded results held in memory (default 4096)
+//	-controller on|off  default score-driven batch/allocation controller
+//	                 for campaigns (default on); a campaign request's
+//	                 "controller" field overrides per campaign. Tables
+//	                 are byte-identical either way
+//	-dwell N         default policy batches the controller holds a chunk
+//	                 size before re-scoring (default 4)
+//	-hysteresis H    default relative score advantage a challenger chunk
+//	                 size needs to displace the incumbent (default 0.15)
 //
 // Endpoints are documented in package server. SIGINT/SIGTERM drain
 // in-flight campaigns, flush the store and exit.
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"radqec/internal/control"
 	"radqec/internal/server"
 	"radqec/internal/store"
 )
@@ -44,6 +53,9 @@ func main() {
 	storeDir := flag.String("store", "radqec-store", "result store directory (empty disables persistence)")
 	workers := flag.Int("workers", 0, "shared sweep worker pool size (0 = GOMAXPROCS)")
 	lru := flag.Int("lru", 0, "decoded results held in memory (0 = default)")
+	controller := flag.String("controller", "on", "default score-driven batch/allocation controller: on or off")
+	dwell := flag.Int("dwell", 4, "default policy batches the controller holds a chunk size before re-scoring")
+	hysteresis := flag.Float64("hysteresis", 0.15, "default relative score advantage needed to displace the incumbent chunk size")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "radqecd: unexpected arguments %v\n", flag.Args())
@@ -51,10 +63,19 @@ func main() {
 		os.Exit(2)
 	}
 	if *workers < 0 {
-		fatal(fmt.Errorf("-workers %d out of range (want >= 0; 0 = GOMAXPROCS)", *workers))
+		usageError(fmt.Sprintf("-workers %d out of range (want >= 0; 0 = GOMAXPROCS)", *workers))
 	}
 	if *lru < 0 {
-		fatal(fmt.Errorf("-lru %d out of range (want >= 0; 0 = default)", *lru))
+		usageError(fmt.Sprintf("-lru %d out of range (want >= 0; 0 = default)", *lru))
+	}
+	if *controller != "on" && *controller != "off" {
+		usageError(fmt.Sprintf("-controller %q out of range (want on or off)", *controller))
+	}
+	if *dwell < 1 {
+		usageError(fmt.Sprintf("-dwell %d out of range (want >= 1 policy batches)", *dwell))
+	}
+	if *hysteresis < 0 || *hysteresis >= 1 {
+		usageError(fmt.Sprintf("-hysteresis %g out of range (want 0 <= hysteresis < 1)", *hysteresis))
 	}
 
 	var st *store.Store
@@ -71,7 +92,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "radqecd: running without a store; every campaign recomputes")
 	}
 
-	srv := server.New(server.Config{Store: st, Workers: *workers})
+	var ctrl *control.Policy
+	if *controller == "on" {
+		ctrl = &control.Policy{Enabled: true, Dwell: *dwell, Hysteresis: *hysteresis}
+	}
+	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// SIGINT/SIGTERM: stop accepting, drain in-flight campaigns (their
@@ -132,4 +157,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "radqecd:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value and exits with the usage status.
+func usageError(msg string) {
+	fmt.Fprintf(os.Stderr, "radqecd: %s\n", msg)
+	os.Exit(2)
 }

@@ -1,0 +1,164 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDisabledIsNil(t *testing.T) {
+	if New(nil, 64) != nil {
+		t.Fatal("nil policy built a controller")
+	}
+	if New(&Policy{}, 64) != nil {
+		t.Fatal("disabled policy built a controller")
+	}
+}
+
+func TestCandidatesAlignedGeometric(t *testing.T) {
+	c := New(Default(), 64)
+	want := []int{64, 256, 1024, 4096, 16384, 65536}
+	if len(c.candidates) != len(want) {
+		t.Fatalf("candidates = %v, want %v", c.candidates, want)
+	}
+	for i, w := range want {
+		if c.candidates[i] != w {
+			t.Fatalf("candidates = %v, want %v", c.candidates, want)
+		}
+	}
+	// Starts throughput-safe at the largest candidate.
+	if c.ChunkSize() != 65536 {
+		t.Fatalf("initial chunk = %d, want %d", c.ChunkSize(), 65536)
+	}
+	// Alignment larger than MaxChunk still yields one legal candidate.
+	if got := New(&Policy{Enabled: true, MaxChunk: 32}, 64).ChunkSize(); got != 64 {
+		t.Fatalf("degenerate candidate set chose %d", got)
+	}
+}
+
+func TestCandidateIndexCreditsTruncatedChunks(t *testing.T) {
+	c := New(Default(), 64)
+	for _, tc := range []struct{ size, want int }{
+		{64, 0}, {100, 0}, {256, 1}, {1000, 1}, {1024, 2}, {65536, 5}, {1 << 20, 5},
+	} {
+		if got := c.candidateIndex(tc.size); got != tc.want {
+			t.Fatalf("candidateIndex(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestDwellPinsDecision(t *testing.T) {
+	c := New(&Policy{Enabled: true, Dwell: 3, MaxChunk: 256}, 64) // candidates 64, 256
+	// Feed signals making the small candidate clearly better.
+	for i := 0; i < 10; i++ {
+		c.ObserveChunk(64, 64, 1e6, 0)     // 64k shots/s
+		c.ObserveChunk(256, 256, 256e6, 0) // 1k shots/s
+	}
+	// The first two BatchDone calls only count down dwell; the chunk
+	// size must not move before the budget expires.
+	for i := 0; i < 2; i++ {
+		if size, left := c.BatchDone(); size != 256 || left != 3-i-1 {
+			t.Fatalf("batch %d: size %d dwell %d — switched before dwell expiry", i, size, left)
+		}
+	}
+	// Third call expires the dwell; both candidates are observed, so
+	// scoring (not probing) runs and picks the faster small chunk.
+	if size, left := c.BatchDone(); size != 64 || left != 3 {
+		t.Fatalf("post-dwell size %d dwell %d, want 64 / 3", size, left)
+	}
+}
+
+func TestProbeVisitsUnobservedCandidatesInOrder(t *testing.T) {
+	c := New(&Policy{Enabled: true, Dwell: 1, MaxChunk: 1024}, 64) // 64, 256, 1024
+	var visited []int
+	for i := 0; i < 3; i++ {
+		size, _ := c.BatchDone()
+		visited = append(visited, size)
+		c.ObserveChunk(size, size, 1e6, 0)
+	}
+	// All candidates start unobserved, so the probe order is the
+	// candidate order: 64, 256, then steady state.
+	if visited[0] != 64 || visited[1] != 256 {
+		t.Fatalf("probe order %v, want 64 then 256 first", visited)
+	}
+}
+
+func TestHysteresisHoldsNearTies(t *testing.T) {
+	pol := &Policy{Enabled: true, Dwell: 1, Hysteresis: 0.15, MaxChunk: 256}
+	c := New(pol, 64) // candidates 64, 256
+	// Pin the incumbent at the large candidate with observations: the
+	// small candidate is 5% faster — inside the hysteresis margin.
+	speedup := 1.05 // 64-shot chunks 5% above the incumbent's 256e3 shots/s
+	wall5 := int64(250e3 / speedup)
+	for i := 0; i < 50; i++ {
+		c.ObserveChunk(256, 256, 1e6, 0) // 256e3 shots/s
+		c.ObserveChunk(64, 64, wall5, 0)
+	}
+	c.probe = len(c.candidates) // probing done
+	if size, _ := c.BatchDone(); size != 256 {
+		t.Fatalf("5%% challenger displaced the incumbent despite 15%% hysteresis (size %d)", size)
+	}
+	// A 2x challenger clears any sane margin.
+	for i := 0; i < 50; i++ {
+		c.ObserveChunk(64, 64, 125e3, 0)
+	}
+	if size, _ := c.BatchDone(); size != 64 {
+		t.Fatalf("2x challenger failed to displace the incumbent (size %d)", size)
+	}
+}
+
+func TestScorePenaltiesAreConvex(t *testing.T) {
+	c := New(Default(), 64)
+	c.SetPressure(1)
+	// With no observations every candidate scores 1 minus the latency
+	// penalty, which grows quadratically in the size fraction.
+	sSmall := c.score(0)
+	sMid := c.score(3)
+	sBig := c.score(len(c.candidates) - 1)
+	if !(sSmall > sMid && sMid > sBig) {
+		t.Fatalf("latency penalty not monotone under pressure: %v %v %v", sSmall, sMid, sBig)
+	}
+	if math.Abs((1-sBig)-latPenaltyWeight) > 1e-12 {
+		t.Fatalf("full-size penalty = %v, want %v", 1-sBig, latPenaltyWeight)
+	}
+	// Without pressure the penalty vanishes.
+	c.SetPressure(0)
+	if got := c.score(len(c.candidates) - 1); got != 1 {
+		t.Fatalf("pressure-free score = %v, want 1", got)
+	}
+}
+
+func TestPriorityBandsAreDisjoint(t *testing.T) {
+	// A tail point with an almost-resolved tail still outranks the
+	// least-converged adaptive point (half-widths are < 1 for any real
+	// Wilson interval), which outranks a completely unstarted fixed one.
+	tail := Priority(PointSignals{TailSensitive: true, TailWidth: 0.01})
+	adaptive := Priority(PointSignals{HalfWidth: 0.99})
+	fixed := Priority(PointSignals{RemainingFrac: 1})
+	if !(tail > adaptive && adaptive > fixed) {
+		t.Fatalf("bands overlap: tail %v adaptive %v fixed %v", tail, adaptive, fixed)
+	}
+	// Within a band, wider uncertainty ranks higher.
+	if Priority(PointSignals{TailSensitive: true, TailWidth: 0.5}) <= Priority(PointSignals{TailSensitive: true, TailWidth: 0.1}) {
+		t.Fatal("wider tail CI did not outrank narrower")
+	}
+	if Priority(PointSignals{HalfWidth: 0.2}) <= Priority(PointSignals{HalfWidth: 0.05}) {
+		t.Fatal("less-converged adaptive point did not outrank more-converged")
+	}
+}
+
+func TestWeightBoundsAndMonotonicity(t *testing.T) {
+	if w := Weight(CampaignSignals{}); w != 1 {
+		t.Fatalf("empty campaign weight = %v, want 1", w)
+	}
+	prev := 0.0
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		w := Weight(CampaignSignals{Pending: n})
+		if w < prev {
+			t.Fatalf("weight not monotone in backlog: %v after %v", w, prev)
+		}
+		prev = w
+	}
+	if w := Weight(CampaignSignals{Pending: 1 << 30, TailPressure: 1}); w != 4 {
+		t.Fatalf("weight cap = %v, want 4", w)
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"testing"
+
+	"radqec/internal/control"
+	"radqec/internal/telemetry"
+)
+
+// TestControllerByteIdenticalTables is the acceptance criterion at the
+// experiment level: a tail-sensitive experiment renders byte-identical
+// tables with the scoring controller on and off, in fixed and adaptive
+// mode — the controller re-orders and re-chunks mechanism only.
+func TestControllerByteIdenticalTables(t *testing.T) {
+	e, ok := Find("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	for _, base := range []Config{
+		{Shots: 192, Seed: 5},
+		{CI: 0.08, Seed: 5},
+	} {
+		ref, err := e.Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tableText(t, ref)
+		on := base
+		on.Control = control.Default()
+		on.Workers = 3
+		got, err := e.Run(on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tableText(t, got) != want {
+			t.Fatalf("config %+v: controller-on table diverged from controller-off", base)
+		}
+	}
+}
+
+// TestTelemetryRecordsEngineRoute: an experiment run with telemetry
+// attached records the engine-resolution decision behind the campaign.
+func TestTelemetryRecordsEngineRoute(t *testing.T) {
+	tel := telemetry.NewCampaign(1, "threshold")
+	cfg := Config{Shots: 64, Seed: 3, Telemetry: tel}
+	if _, err := Threshold(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := tel.Route()
+	if r == nil {
+		t.Fatal("no engine route recorded")
+	}
+	if r.Requested != EngineAuto || r.Resolved == "" || r.Reason == "" {
+		t.Fatalf("route = %+v", r)
+	}
+	if st := tel.Stats(); st.Shots == 0 || st.Route == nil {
+		t.Fatalf("stats missing telemetry: %+v", st)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"radqec/internal/arch"
+	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/frame"
 	"radqec/internal/noise"
@@ -27,6 +28,7 @@ import (
 	"radqec/internal/stats"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
+	"radqec/internal/telemetry"
 )
 
 // Simulation engine names for Config.Engine, shared with the core
@@ -105,6 +107,21 @@ type Config struct {
 	// — the daemon sets it so concurrent client campaigns share one CPU
 	// budget fairly instead of oversubscribing.
 	Scheduler *sweep.Scheduler
+	// Control, when set and enabled, runs every sweep under the scoring
+	// controller: scored batch chunking, tail-aware point priorities,
+	// weighted campaign shares and in-flight single-flight. Results are
+	// byte-identical with it on or off (the sweep determinism contract).
+	Control *control.Policy
+	// Telemetry, when set, receives per-chunk signals, counters and
+	// controller gauges for the experiment's sweeps — the ring behind
+	// the daemon's signals stream and the CLI's -stats report.
+	Telemetry *telemetry.Campaign
+	// TailSensitive marks every measured point's tail statistics (the
+	// CVaR/quantile columns) as the quantity of interest, steering the
+	// controller's shot allocation. Experiment.Run sets it from the
+	// registry's TailCols declaration; setting it by hand is a harmless
+	// scheduling hint.
+	TailSensitive bool
 }
 
 // repetition builds the repetition code at the configured memory depth.
@@ -154,15 +171,21 @@ func (c Config) Defaults() Config {
 // is chunked into the per-batch tail statistics.
 func (c Config) sweepConfig() sweep.Config {
 	return sweep.Config{
-		Shots:     c.Shots,
-		CI:        c.CI,
-		MaxShots:  c.MaxShots,
-		Align:     64,
-		Workers:   c.Workers,
-		OnResult:  c.OnPoint,
-		Cache:     c.Cache,
-		Resume:    c.Resume,
-		Scheduler: c.Scheduler,
+		Policy: sweep.Policy{
+			Shots:    c.Shots,
+			CI:       c.CI,
+			MaxShots: c.MaxShots,
+			Align:    64,
+		},
+		Mechanism: sweep.Mechanism{
+			Workers:   c.Workers,
+			OnResult:  c.OnPoint,
+			Cache:     c.Cache,
+			Resume:    c.Resume,
+			Scheduler: c.Scheduler,
+			Control:   c.Control,
+			Telemetry: c.Telemetry,
+		},
 	}
 }
 
@@ -430,9 +453,19 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 			shotWorkers = 1
 		}
 	}
+	if tel := cfg.Telemetry; tel != nil {
+		if route, err := core.ResolveEngineRoute(cfg.Engine); err == nil {
+			tel.SetRoute(telemetry.Route{
+				Requested: route.Requested,
+				Resolved:  route.Resolved,
+				Reason:    route.Reason,
+			})
+		}
+	}
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
 		points[i] = s.point(cfg.Engine, cfg.Decoder, shotWorkers)
+		points[i].TailSensitive = cfg.TailSensitive
 		if cfg.Cache != nil {
 			points[i].Hash = s.fingerprint(cfg)
 		}

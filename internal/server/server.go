@@ -13,15 +13,16 @@
 //
 // Endpoints:
 //
-//	POST   /v1/campaigns       submit a campaign, stream NDJSON points + table
-//	GET    /v1/experiments     list runnable experiments
-//	GET    /v1/cache           store statistics
-//	GET    /v1/cache/entries   list committed points (hash, key, shots)
-//	DELETE /v1/cache           clear the store
-//	DELETE /v1/cache/{hash}    invalidate one point
-//	POST   /v1/cache/compact   rewrite the segment to live records
-//	GET    /healthz            liveness + basic shape
-//	GET    /metrics            Prometheus-style text metrics
+//	POST   /v1/campaigns                submit a campaign, stream NDJSON points + table
+//	GET    /v1/campaigns/{id}/signals   stream a campaign's telemetry signals (NDJSON)
+//	GET    /v1/experiments              list runnable experiments
+//	GET    /v1/cache                    store statistics
+//	GET    /v1/cache/entries            list committed points (hash, key, shots)
+//	DELETE /v1/cache                    clear the store
+//	DELETE /v1/cache/{hash}             invalidate one point
+//	POST   /v1/cache/compact            rewrite the segment to live records
+//	GET    /healthz                     liveness + basic shape
+//	GET    /metrics                     Prometheus text exposition
 package server
 
 import (
@@ -32,13 +33,16 @@ import (
 	"net/http"
 	"runtime"
 	"slices"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
+	"radqec/internal/telemetry"
 )
 
 // Config assembles a Server.
@@ -48,6 +52,10 @@ type Config struct {
 	Store *store.Store
 	// Workers sizes the shared sweep worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Control is the default controller policy campaigns run under;
+	// nil or disabled keeps the static legacy scheduling. A request's
+	// "controller" field overrides the default per campaign.
+	Control *control.Policy
 }
 
 // Server is the campaign service. Create with New, mount Handler, and
@@ -56,6 +64,8 @@ type Server struct {
 	st      *store.Store
 	sched   *sweep.Scheduler
 	workers int
+	control *control.Policy
+	tele    *telemetry.Registry
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -77,10 +87,13 @@ func New(cfg Config) *Server {
 		st:      cfg.Store,
 		sched:   sweep.NewScheduler(workers),
 		workers: workers,
+		control: cfg.Control,
+		tele:    telemetry.NewRegistry(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/signals", s.handleSignals)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
 	s.mux.HandleFunc("GET /v1/cache/entries", s.handleCacheEntries)
@@ -120,6 +133,16 @@ type CampaignRequest struct {
 	// NoCache bypasses the store for this campaign: nothing is read
 	// from or written to it.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Controller overrides the daemon's default controller policy for
+	// this campaign (omitted = the daemon's -controller setting).
+	// Results are byte-identical either way; only scheduling changes.
+	Controller *bool `json:"controller,omitempty"`
+	// Dwell and Hysteresis tune the controller's scorer when it is
+	// enabled: policy batches a chunk-size decision is pinned (0 = the
+	// daemon default), and the score margin a challenger must clear
+	// (0 = the daemon default).
+	Dwell      int     `json:"dwell,omitempty"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
 }
 
 // validate mirrors the CLI's flag validation so a bad request is a 400
@@ -157,7 +180,37 @@ func (r CampaignRequest) validate() error {
 	if r.Workers < 0 {
 		return fmt.Errorf("workers %d out of range (want >= 0; 0 = whole pool)", r.Workers)
 	}
+	if r.Dwell < 0 {
+		return fmt.Errorf("dwell %d out of range (want >= 0 policy batches; 0 = default)", r.Dwell)
+	}
+	if r.Hysteresis < 0 || r.Hysteresis >= 1 {
+		return fmt.Errorf("hysteresis %g out of range (want 0 <= hysteresis < 1; 0 = default)", r.Hysteresis)
+	}
 	return nil
+}
+
+// controlPolicy resolves the campaign's controller policy: the request
+// override wins, then the daemon default; knobs left zero inherit the
+// daemon's, then the package defaults.
+func (r CampaignRequest) controlPolicy(s *Server) *control.Policy {
+	enabled := s.control != nil && s.control.Enabled
+	if r.Controller != nil {
+		enabled = *r.Controller
+	}
+	if !enabled {
+		return nil
+	}
+	pol := control.Policy{Enabled: true, Dwell: r.Dwell, Hysteresis: r.Hysteresis}
+	if s.control != nil {
+		if pol.Dwell == 0 {
+			pol.Dwell = s.control.Dwell
+		}
+		if pol.Hysteresis == 0 {
+			pol.Hysteresis = s.control.Hysteresis
+		}
+		pol.MaxChunk = s.control.MaxChunk
+	}
+	return &pol
 }
 
 // config lowers the request onto an experiment config bound to the
@@ -184,6 +237,7 @@ func (r CampaignRequest) config(s *Server) exp.Config {
 		Decoder:   r.Decoder,
 		Scheduler: s.sched,
 		Resume:    true,
+		Control:   r.controlPolicy(s),
 	}
 	if s.st != nil && !r.NoCache {
 		cfg.Cache = s.st
@@ -213,11 +267,18 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	e, _ := exp.Find(req.Experiment)
 	cfg := req.config(s)
+	tc := s.tele.New(req.Experiment)
+	defer s.tele.Finish(tc)
+	cfg.Telemetry = tc
 
 	s.campaignsTotal.Add(1)
 	s.campaignsActive.Add(1)
 	defer s.campaignsActive.Add(-1)
 
+	// The campaign ID rides a header (not a stream record) so existing
+	// NDJSON consumers keep parsing points and tables untouched; clients
+	// follow it to GET /v1/campaigns/{id}/signals.
+	w.Header().Set("X-Radqec-Campaign-Id", strconv.FormatInt(tc.ID(), 10))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // keep reverse proxies from batching the stream
 	flusher, _ := w.(http.Flusher)
@@ -266,6 +327,90 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // on a stalled client before the stream is abandoned; it exists so a
 // dead connection can never pin a shared pool worker.
 const streamWriteTimeout = 30 * time.Second
+
+// Signals-stream tuning: how many ring entries one poll drains, and how
+// long a live follow sleeps when the ring is drained.
+const (
+	signalsChunk        = 256
+	signalsPollInterval = 100 * time.Millisecond
+)
+
+// signalRecord and statsRecord are the NDJSON records of the signals
+// stream: every telemetry signal flattened under type "signal", closed
+// by one aggregate "stats" record.
+type signalRecord struct {
+	Type string `json:"type"`
+	telemetry.Signal
+}
+
+type statsRecord struct {
+	Type string `json:"type"`
+	telemetry.Stats
+}
+
+// handleSignals streams a campaign's telemetry ring as NDJSON: all
+// retained signals from the requested sequence (?from=N, default 0),
+// then — unless ?follow=0 asks for a snapshot — new signals as the
+// campaign produces them, closed by a final stats record once the
+// campaign finishes. Readers that fall more than the ring size behind
+// see a sequence gap, never blocked writers: telemetry recording is
+// lock-free and the stream only polls.
+func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
+		return
+	}
+	c, ok := s.tele.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("campaign %d unknown (not active or rotated out of the recent-campaign tail)", id))
+		return
+	}
+	var seq uint64
+	if from := r.URL.Query().Get("from"); from != "" {
+		seq, err = strconv.ParseUint(from, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad from sequence %q", from))
+			return
+		}
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for {
+		sigs, next := c.Since(seq, signalsChunk)
+		seq = next
+		for _, sig := range sigs {
+			rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			if enc.Encode(signalRecord{Type: "signal", Signal: sig}) != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if len(sigs) > 0 {
+			continue // drain the backlog before sleeping
+		}
+		// The done check comes after a drained read, so every signal
+		// recorded before Finish is streamed before the stream closes.
+		if c.Done() || !follow {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(signalsPollInterval):
+		}
+	}
+	rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	if enc.Encode(statsRecord{Type: "stats", Stats: c.Stats()}) == nil && flusher != nil {
+		flusher.Flush()
+	}
+}
 
 // experimentInfo is one row of GET /v1/experiments.
 type experimentInfo struct {
@@ -350,28 +495,58 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleMetrics serves Prometheus text exposition format 0.0.4: every
+// series carries # HELP and # TYPE lines, and the controller's
+// per-campaign gauges are labelled by campaign id and experiment.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	write := func(name string, v any) {
-		fmt.Fprintf(w, "radqecd_%s %v\n", name, v)
+	write := func(name, kind, help string, v any) {
+		fmt.Fprintf(w, "# HELP radqecd_%s %s\n# TYPE radqecd_%s %s\nradqecd_%s %v\n", name, help, name, kind, name, v)
 	}
-	write("uptime_seconds", time.Since(s.start).Seconds())
-	write("workers", s.workers)
-	write("campaigns_total", s.campaignsTotal.Load())
-	write("campaigns_active", s.campaignsActive.Load())
-	write("campaign_errors_total", s.campaignErrors.Load())
-	write("points_computed_total", s.pointsComputed.Load())
-	write("points_cached_total", s.pointsCached.Load())
-	write("shots_computed_total", s.shotsComputed.Load())
+	write("uptime_seconds", "gauge", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	write("workers", "gauge", "Size of the shared sweep worker pool.", s.workers)
+	write("campaigns_total", "counter", "Campaigns accepted since start.", s.campaignsTotal.Load())
+	write("campaigns_active", "gauge", "Campaigns currently running.", s.campaignsActive.Load())
+	write("campaign_errors_total", "counter", "Campaigns that ended in an error.", s.campaignErrors.Load())
+	write("points_computed_total", "counter", "Sweep points computed by engines (cache misses).", s.pointsComputed.Load())
+	write("points_cached_total", "counter", "Sweep points served from the result store.", s.pointsCached.Load())
+	write("shots_computed_total", "counter", "Monte-Carlo shots executed by engines.", s.shotsComputed.Load())
 	if s.st != nil {
 		st := s.st.Stats()
-		write("store_commits", st.Commits)
-		write("store_checkpoints", st.Checkpoints)
-		write("store_segment_bytes", st.SegmentBytes)
-		write("store_hits_total", st.Hits)
-		write("store_misses_total", st.Misses)
-		write("store_resident", st.Resident)
+		write("store_commits", "gauge", "Committed points resident in the result store.", st.Commits)
+		write("store_checkpoints", "gauge", "Partial checkpoints resident in the result store.", st.Checkpoints)
+		write("store_segment_bytes", "gauge", "Bytes in the result store's log segments.", st.SegmentBytes)
+		write("store_hits_total", "counter", "Result-store lookups that hit.", st.Hits)
+		write("store_misses_total", "counter", "Result-store lookups that missed.", st.Misses)
+		write("store_resident", "gauge", "Entries resident in the result store index.", st.Resident)
 	}
+	// Per-campaign controller gauges, one labelled line per active
+	// campaign under a single HELP/TYPE block per series.
+	active := s.tele.Active()
+	if len(active) == 0 {
+		return
+	}
+	type row struct {
+		labels string
+		stats  telemetry.Stats
+	}
+	rows := make([]row, 0, len(active))
+	for _, c := range active {
+		rows = append(rows, row{
+			labels: fmt.Sprintf(`{campaign="%d",experiment="%s"}`, c.ID(), c.Experiment()),
+			stats:  c.Stats(),
+		})
+	}
+	gauge := func(name, help string, value func(telemetry.Stats) any) {
+		fmt.Fprintf(w, "# HELP radqecd_%s %s\n# TYPE radqecd_%s gauge\n", name, help, name)
+		for _, r := range rows {
+			fmt.Fprintf(w, "radqecd_%s%s %v\n", name, r.labels, value(r.stats))
+		}
+	}
+	gauge("campaign_shots_per_sec", "Aggregate engine shot rate of the campaign.", func(st telemetry.Stats) any { return st.ShotsPerSec })
+	gauge("campaign_batch_size", "Chunk size the controller currently hands to engines.", func(st telemetry.Stats) any { return st.ChunkSize })
+	gauge("campaign_queue_depth", "Points of the campaign still queued on the scheduler.", func(st telemetry.Stats) any { return st.QueueDepth })
+	gauge("campaign_dwell_left", "Policy batches before the controller may re-choose its chunk size.", func(st telemetry.Stats) any { return st.DwellLeft })
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"radqec/internal/control"
+)
+
+// submitForID posts a campaign, drains its stream, and returns the
+// campaign id the daemon assigned via the response header.
+func submitForID(t *testing.T, ts *httptest.Server, req CampaignRequest) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Radqec-Campaign-Id")
+	if id == "" {
+		t.Fatal("campaign response carries no X-Radqec-Campaign-Id header")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestSignalsStreamEndpoint: a completed campaign's signals replay over
+// GET /v1/campaigns/{id}/signals as NDJSON — per-chunk signal records
+// closed by one aggregate stats record carrying the engine route.
+func TestSignalsStreamEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	id := submitForID(t, ts, CampaignRequest{Experiment: "threshold", Shots: 128, Seed: seed(9)})
+
+	for _, follow := range []string{"?follow=0", ""} {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/signals" + follow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("signals status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("signals content type = %q", ct)
+		}
+		var signals int
+		var shots int
+		var last statsRecord
+		sawStats := false
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var kind struct {
+				Type string `json:"type"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &kind); err != nil {
+				t.Fatalf("stream line not JSON: %q", sc.Bytes())
+			}
+			switch kind.Type {
+			case "signal":
+				if sawStats {
+					t.Fatal("signal record after the stats record")
+				}
+				var rec signalRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Fatal(err)
+				}
+				signals++
+				shots += rec.Shots
+			case "stats":
+				if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+					t.Fatal(err)
+				}
+				sawStats = true
+			default:
+				t.Fatalf("unexpected record type %q", kind.Type)
+			}
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if signals == 0 {
+			t.Fatal("no signal records streamed")
+		}
+		if !sawStats {
+			t.Fatal("stream ended without a stats record")
+		}
+		if !last.Done || last.Shots == 0 || int(last.Shots) != shots {
+			t.Fatalf("stats record inconsistent with signals: %+v (signal shots %d)", last.Stats, shots)
+		}
+		if last.Route == nil || last.Route.Resolved == "" {
+			t.Fatalf("stats record missing the engine route: %+v", last.Stats)
+		}
+	}
+
+	// Bad and unknown ids fail cleanly.
+	if resp, err := http.Get(ts.URL + "/v1/campaigns/nope/signals"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status = %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/campaigns/99999/signals"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsPrometheusExposition: every radqecd_* series carries
+// # HELP and # TYPE lines in exposition format 0.0.4.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	submitForID(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(2)})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for name, kind := range map[string]string{
+		"uptime_seconds":        "gauge",
+		"workers":               "gauge",
+		"campaigns_total":       "counter",
+		"campaigns_active":      "gauge",
+		"campaign_errors_total": "counter",
+		"points_computed_total": "counter",
+		"points_cached_total":   "counter",
+		"shots_computed_total":  "counter",
+		"store_commits":         "gauge",
+		"store_hits_total":      "counter",
+		"store_misses_total":    "counter",
+	} {
+		if !strings.Contains(text, "# HELP radqecd_"+name+" ") {
+			t.Errorf("series %s has no HELP line", name)
+		}
+		if !strings.Contains(text, "# TYPE radqecd_"+name+" "+kind+"\n") {
+			t.Errorf("series %s has no TYPE %s line", name, kind)
+		}
+		if !strings.Contains(text, "\nradqecd_"+name+" ") && !strings.HasPrefix(text, "radqecd_"+name+" ") {
+			t.Errorf("series %s has no sample line", name)
+		}
+	}
+	// Sanity: the legacy scrape helper still parses values past the new
+	// comment lines.
+	if metricValue(t, ts, "campaigns_total") < 1 {
+		t.Error("campaigns_total did not count the submitted campaign")
+	}
+}
+
+// TestCampaignGaugesLabelActiveCampaigns: the per-campaign controller
+// gauges appear in /metrics while a campaign is registered as active.
+func TestCampaignGaugesLabelActiveCampaigns(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	c := srv.tele.New("fig5")
+	defer srv.tele.Finish(c)
+	c.SetControl(4096, 2)
+	c.SetQueueDepth(7)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		`# TYPE radqecd_campaign_shots_per_sec gauge`,
+		`radqecd_campaign_batch_size{campaign="1",experiment="fig5"} 4096`,
+		`radqecd_campaign_queue_depth{campaign="1",experiment="fig5"} 7`,
+		`radqecd_campaign_dwell_left{campaign="1",experiment="fig5"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestControllerRequestValidation: controller knobs outside their
+// constraints are 400s, and the controller field round-trips into the
+// campaign config.
+func TestControllerRequestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"dwell":      `{"experiment":"fig5","dwell":-1}`,
+		"hysteresis": `{"experiment":"fig5","hysteresis":1.5}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestControllerPolicyResolution: the request override beats the daemon
+// default, knobs inherit, and disabled yields nil (static scheduling).
+func TestControllerPolicyResolution(t *testing.T) {
+	off := false
+	on := true
+	s := New(Config{Workers: 1, Control: defaultTestPolicy()})
+	defer s.Close()
+	if got := (CampaignRequest{Experiment: "fig5"}).config(s).Control; got == nil || got.Dwell != 6 {
+		t.Fatalf("daemon default not inherited: %+v", got)
+	}
+	if got := (CampaignRequest{Experiment: "fig5", Controller: &off}).config(s).Control; got != nil {
+		t.Fatalf("request opt-out ignored: %+v", got)
+	}
+	if got := (CampaignRequest{Experiment: "fig5", Dwell: 9}).config(s).Control; got == nil || got.Dwell != 9 || got.Hysteresis != 0.2 {
+		t.Fatalf("request knob did not override daemon default: %+v", got)
+	}
+	sOff := New(Config{Workers: 1})
+	defer sOff.Close()
+	if got := (CampaignRequest{Experiment: "fig5"}).config(sOff).Control; got != nil {
+		t.Fatalf("controller on without a daemon default or request opt-in: %+v", got)
+	}
+	if got := (CampaignRequest{Experiment: "fig5", Controller: &on}).config(sOff).Control; got == nil || !got.Enabled {
+		t.Fatalf("request opt-in ignored on a controller-off daemon: %+v", got)
+	}
+}
+
+// TestControllerOnOffTablesMatchOverDaemon: the same campaign submitted
+// with the controller on and off (cache bypassed so both compute)
+// streams identical tables.
+func TestControllerOnOffTablesMatchOverDaemon(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	off := false
+	_, tabOn := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 96, Seed: seed(4), NoCache: true})
+	_, tabOff := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 96, Seed: seed(4), NoCache: true, Controller: &off})
+	tabOn.ElapsedMS, tabOff.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(tabOn, tabOff) {
+		t.Fatalf("controller on/off tables diverged over the daemon:\n%+v\nvs\n%+v", tabOn, tabOff)
+	}
+}
+
+func defaultTestPolicy() *control.Policy {
+	return &control.Policy{Enabled: true, Dwell: 6, Hysteresis: 0.2}
+}

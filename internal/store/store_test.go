@@ -309,9 +309,9 @@ func TestResumeMatchesUninterruptedRun(t *testing.T) {
 		}
 	}
 	for ci, cfg := range []sweep.Config{
-		{Shots: 1000, Workers: 1},                         // fixed mode
-		{CI: 0.02, Batch: 64, MaxShots: 4000, Workers: 1}, // adaptive
-		{CI: 0.02, Batch: 64, MaxShots: 4000, Align: 64, Workers: 1},
+		{Policy: sweep.Policy{Shots: 1000}, Mechanism: sweep.Mechanism{Workers: 1}},                         // fixed mode
+		{Policy: sweep.Policy{CI: 0.02, Batch: 64, MaxShots: 4000}, Mechanism: sweep.Mechanism{Workers: 1}}, // adaptive
+		{Policy: sweep.Policy{CI: 0.02, Batch: 64, MaxShots: 4000, Align: 64}, Mechanism: sweep.Mechanism{Workers: 1}},
 	} {
 		// The reference run writes its own store: its segment then holds
 		// one "ckpt" line per batch plus the final commit — the literal

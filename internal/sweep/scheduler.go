@@ -3,29 +3,49 @@ package sweep
 import (
 	"runtime"
 	"sync"
+
+	"radqec/internal/control"
 )
 
 // Scheduler owns a fixed pool of point workers and multiplexes any
 // number of concurrent sweeps over it. Each Run enqueues its points as
-// one campaign; workers hand out points round-robin across the active
-// campaigns, so N concurrent clients share the pool fairly instead of
-// each spawning its own worker set and oversubscribing the CPU. A lone
-// campaign still gets the whole pool.
+// one campaign; workers hand out work across the active campaigns under
+// deficit scheduling, so N concurrent clients share the pool fairly
+// instead of each spawning its own worker set and oversubscribing the
+// CPU. A lone campaign still gets the whole pool.
 //
-// Point results are pure functions of (Config, Point) — the
-// determinism contract of Run — so interleaving campaigns changes only
-// wall-clock time and completion order, never the results.
+// Campaigns without a controller (Mechanism.Control nil or disabled)
+// run under the static legacy policy: FIFO point handouts, every weight
+// 1 (which degrades deficit scheduling to the old least-recently-served
+// rotation), a point runs to completion once handed out, and Workers is
+// a hard concurrency cap. Controller campaigns run one policy batch per
+// handout, ordered by tail-aware point priorities and weighted campaign
+// shares, with identical in-flight points single-flighted through the
+// cache; their Workers is a share hint — when every other campaign is
+// drained or capped, a controller campaign borrows the idle slots so
+// the pool stays work-conserving.
+//
+// Point results are pure functions of (Policy, Point) — the determinism
+// contract of Run — so interleaving campaigns or enabling the
+// controller changes only wall-clock time and completion order, never
+// the results.
 type Scheduler struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// queues holds the active campaigns in service order: a campaign
 	// moves to the back each time it is handed a point, and a new
-	// campaign (zero service so far) enters at the front — so point
-	// handouts alternate across campaigns regardless of arrival order
-	// or campaign length.
+	// campaign enters at the front with its service counter levelled to
+	// the least-served active campaign — so handouts alternate across
+	// campaigns regardless of arrival order or campaign length.
 	queues []*schedQueue
-	closed bool
-	wg     sync.WaitGroup
+	// flights keys the points currently computing by content hash: a
+	// controller campaign's point whose hash is already in flight parks
+	// until the holder commits, then replays the committed result from
+	// the cache instead of recomputing it.
+	flights map[string]struct{}
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
 }
 
 // schedQueue is one campaign's slice of the pool.
@@ -33,9 +53,21 @@ type schedQueue struct {
 	cfg     Config
 	points  []Point
 	results []Result
-	next    int // next point index to hand out
-	running int // points of this campaign currently executing
-	pending int // points not yet completed
+	// runs holds each point's execution state machine; ctrl is the
+	// campaign's scoring controller (nil under the static policy).
+	runs []pointRun
+	ctrl *control.Controller
+	// next is the static policy's FIFO cursor; queue is the controller
+	// policy's pending-point set, scanned by priority at each handout.
+	next       int
+	queue      []int
+	running    int // points of this campaign currently executing
+	unfinished int // points not yet completed
+	// served and topPrio feed deficit scheduling: handouts received so
+	// far, and the best pending priority (claimable refreshes it) whose
+	// tail band sets the campaign's weight.
+	served  float64
+	topPrio float64
 	done    chan struct{}
 	// resMu serialises this campaign's OnResult calls, matching the
 	// single-campaign Run contract; campaigns do not block each other.
@@ -48,7 +80,10 @@ func NewScheduler(workers int) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Scheduler{}
+	s := &Scheduler{
+		flights: make(map[string]struct{}),
+		workers: workers,
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -81,7 +116,8 @@ func (s *Scheduler) Close() {
 // Run executes one campaign on the shared pool and returns results in
 // input order, exactly like the package-level Run. Concurrent Runs are
 // interleaved fairly. cfg.Workers caps how many of this campaign's
-// points execute at once within the pool.
+// points execute at once within the pool; under the controller policy
+// the cap softens to a share hint and idle slots are borrowed.
 func (s *Scheduler) Run(cfg Config, points []Point) []Result {
 	cfg = cfg.withDefaults()
 	results := make([]Result, len(points))
@@ -89,16 +125,42 @@ func (s *Scheduler) Run(cfg Config, points []Point) []Result {
 		return results
 	}
 	q := &schedQueue{
-		cfg:     cfg,
-		points:  points,
-		results: results,
-		pending: len(points),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		points:     points,
+		results:    results,
+		unfinished: len(points),
+		done:       make(chan struct{}),
+		ctrl:       control.New(cfg.Control, cfg.Align),
+	}
+	q.runs = make([]pointRun, len(points))
+	for i := range q.runs {
+		q.runs[i] = pointRun{cfg: &q.cfg, p: points[i]}
+	}
+	if q.ctrl != nil {
+		q.queue = make([]int, len(points))
+		var ws workerState
+		for i := range points {
+			q.queue[i] = i
+			q.runs[i].prio = q.runs[i].priority(&ws)
+		}
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		tel.SetQueueDepth(len(points))
+		if q.ctrl != nil {
+			tel.SetControl(q.ctrl.DwellState())
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		panic("sweep: Run on closed Scheduler")
+	}
+	// A new campaign starts level with the least-served active campaign,
+	// preserving the alternating handouts of the legacy rotation.
+	for i, o := range s.queues {
+		if i == 0 || o.served < q.served {
+			q.served = o.served
+		}
 	}
 	s.queues = append([]*schedQueue{q}, s.queues...)
 	s.mu.Unlock()
@@ -107,39 +169,70 @@ func (s *Scheduler) Run(cfg Config, points []Point) []Result {
 	return results
 }
 
-// worker executes points handed out by take until the pool closes.
+// worker advances points handed out by take until the pool closes.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	var scratch []float64 // reused sorted buffer for tail stats
+	var ws workerState
 	for {
 		q, i := s.take()
 		if q == nil {
 			return
 		}
-		r := runPoint(q.cfg, q.points[i], &scratch)
-		q.results[i] = r
-		s.complete(q, r)
+		if q.runTurn(i, &ws) {
+			s.complete(q, i)
+		} else {
+			s.requeue(q, i)
+		}
 	}
 }
 
-// take claims the next runnable point from the least-recently-served
-// eligible campaign, which then rotates to the back of the service
-// order. It blocks while every campaign is drained or at its
-// per-campaign worker cap, and returns nil once the pool is closed and
-// no campaign remains.
+// runTurn advances one point. The static policy runs the point to
+// completion in one turn — the legacy worker behaviour. The controller
+// policy runs exactly one policy batch, chunked at the controller's
+// current size, then yields the worker so the next handout can re-order
+// on fresh priorities. Returns true when the point finished.
+func (q *schedQueue) runTurn(i int, ws *workerState) bool {
+	pr := &q.runs[i]
+	if !pr.started && pr.begin() {
+		pr.finalize(ws) // served from the cache: no batches to run
+		return true
+	}
+	if q.ctrl == nil {
+		for pr.startBatch() {
+			for pr.batchCounts.Shots < pr.batchN {
+				pr.runChunk(0, nil, ws)
+			}
+			pr.finishBatch()
+		}
+		pr.finalize(ws)
+		return true
+	}
+	if !pr.startBatch() {
+		pr.finalize(ws)
+		return true
+	}
+	chunk := q.ctrl.ChunkSize()
+	for pr.batchCounts.Shots < pr.batchN {
+		pr.runChunk(chunk, q.ctrl, ws)
+	}
+	pr.finishBatch()
+	chunkSize, dwell := q.ctrl.BatchDone()
+	if tel := q.cfg.Telemetry; tel != nil {
+		tel.SetControl(chunkSize, dwell)
+	}
+	pr.prio = pr.priority(ws)
+	return false
+}
+
+// take claims the best runnable point, blocking while every campaign is
+// drained, parked, or at its per-campaign worker cap. It returns nil
+// once the pool is closed and no campaign remains.
 func (s *Scheduler) take() (*schedQueue, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for idx, q := range s.queues {
-			if q.next < len(q.points) && q.running < q.cfg.Workers {
-				copy(s.queues[idx:], s.queues[idx+1:])
-				s.queues[len(s.queues)-1] = q
-				i := q.next
-				q.next++
-				q.running++
-				return q, i
-			}
+		if q, i := s.pick(); q != nil {
+			return q, i
 		}
 		if s.closed && len(s.queues) == 0 {
 			return nil, 0
@@ -148,28 +241,199 @@ func (s *Scheduler) take() (*schedQueue, int) {
 	}
 }
 
-// complete folds one finished point back into its campaign, delivers
-// OnResult, and retires the campaign when its last point lands.
-func (s *Scheduler) complete(q *schedQueue, r Result) {
+// pick claims a point under deficit scheduling: among eligible
+// campaigns (points pending, below the per-campaign worker cap) the one
+// with the lowest served/weight ratio wins the handout and rotates to
+// the back of the service order. With every weight 1 — the static
+// policy — counters stay level, ties decide, and ties go to the scan
+// order the rotation maintains: exactly the legacy least-recently-
+// served alternation.
+//
+// Worker shares are work-conserving for controller campaigns: Workers
+// is the campaign's share under contention, but when no campaign below
+// its cap has claimable work, a controller campaign may borrow the idle
+// slot rather than leave it empty. Static campaigns keep the legacy
+// hard cap.
+func (s *Scheduler) pick() (*schedQueue, int) {
+	var (
+		best      *schedQueue
+		bestIdx   int
+		bestKey   float64
+		bestPoint int
+	)
+	for _, borrow := range [2]bool{false, true} {
+		for idx, q := range s.queues {
+			if q.running >= q.cfg.Workers && !(borrow && q.ctrl != nil) {
+				continue
+			}
+			i, ok := q.claimable(s.flights)
+			if !ok {
+				continue
+			}
+			key := q.served / q.weight()
+			if best == nil || key < bestKey {
+				best, bestIdx, bestKey, bestPoint = q, idx, key, i
+			}
+		}
+		if best != nil {
+			break
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	best.served++
+	best.running++
+	if best.ctrl == nil {
+		best.next++
+	} else {
+		for j, i := range best.queue {
+			if i == bestPoint {
+				best.queue = append(best.queue[:j], best.queue[j+1:]...)
+				break
+			}
+		}
+		if h := best.flightKey(bestPoint); h != "" && !best.runs[bestPoint].claimed {
+			s.flights[h] = struct{}{}
+			best.runs[bestPoint].claimed = true
+		}
+		best.ctrl.SetPressure(s.pressure())
+	}
+	copy(s.queues[bestIdx:], s.queues[bestIdx+1:])
+	s.queues[len(s.queues)-1] = best
+	return best, bestPoint
+}
+
+// pressure is the queued-work-per-worker signal the controller's
+// latency penalty scales with: 0 with an idle pool, 1 when at least one
+// point waits per worker.
+func (s *Scheduler) pressure() float64 {
+	pending := 0
+	for _, q := range s.queues {
+		pending += q.pendingCount()
+	}
+	p := float64(pending) / float64(s.workers)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// pendingCount is how many of the campaign's points await a handout.
+func (q *schedQueue) pendingCount() int {
+	if q.ctrl != nil {
+		return len(q.queue)
+	}
+	return len(q.points) - q.next
+}
+
+// claimable scans for the campaign's best claimable point: the FIFO
+// head under the static policy; the highest-priority pending point
+// whose single-flight key is unclaimed under the controller policy
+// (priority ties go to input order). It refreshes q.topPrio as a side
+// effect — the tail-pressure input to the campaign weight.
+func (q *schedQueue) claimable(flights map[string]struct{}) (int, bool) {
+	if q.ctrl == nil {
+		if q.next < len(q.points) {
+			return q.next, true
+		}
+		return 0, false
+	}
+	best, bestPrio, found := 0, 0.0, false
+	q.topPrio = 0
+	for _, i := range q.queue {
+		prio := q.runs[i].prio
+		if prio > q.topPrio {
+			q.topPrio = prio
+		}
+		if h := q.flightKey(i); h != "" && !q.runs[i].claimed {
+			if _, busy := flights[h]; busy {
+				continue // parked behind another point computing this hash
+			}
+		}
+		if !found || prio > bestPrio {
+			best, bestPrio, found = i, prio, true
+		}
+	}
+	return best, found
+}
+
+// flightKey is the single-flight key of a point: its content hash, when
+// the campaign has a cache for a follower to replay the leader's commit
+// from. Without a cache deduplication would have no way to hand the
+// follower a result, so such points never park.
+func (q *schedQueue) flightKey(i int) string {
+	if q.cfg.Cache == nil {
+		return ""
+	}
+	return q.points[i].Hash
+}
+
+// weight is the campaign's deficit-scheduling share. Static campaigns
+// weigh 1 (the legacy fair rotation); controller campaigns weigh by
+// backlog depth and tail pressure.
+func (q *schedQueue) weight() float64 {
+	if q.ctrl == nil {
+		return 1
+	}
+	tp := q.topPrio - 2 // the tail band of Priority is 2 + TailWidth
+	if tp < 0 {
+		tp = 0
+	}
+	return control.Weight(control.CampaignSignals{
+		Pending:      len(q.queue),
+		TailPressure: tp,
+	})
+}
+
+// requeue returns a between-batches point to its campaign's pending set
+// with the priority runTurn just refreshed.
+func (s *Scheduler) requeue(q *schedQueue, i int) {
+	s.mu.Lock()
+	q.running--
+	q.queue = append(q.queue, i)
+	depth := q.pendingCount()
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if tel := q.cfg.Telemetry; tel != nil {
+		tel.SetQueueDepth(depth)
+	}
+}
+
+// complete folds one finished point back into its campaign, releases
+// its single-flight claim, delivers OnResult, and retires the campaign
+// when its last point lands.
+func (s *Scheduler) complete(q *schedQueue, i int) {
+	q.results[i] = q.runs[i].res
 	if q.cfg.OnResult != nil {
 		q.resMu.Lock()
-		q.cfg.OnResult(r)
+		q.cfg.OnResult(q.results[i])
 		q.resMu.Unlock()
 	}
 	s.mu.Lock()
 	q.running--
-	q.pending--
-	finished := q.pending == 0
+	q.unfinished--
+	if q.runs[i].claimed {
+		delete(s.flights, q.flightKey(i))
+	}
+	finished := q.unfinished == 0
 	if finished {
-		for i, o := range s.queues {
+		for j, o := range s.queues {
 			if o == q {
-				s.queues = append(s.queues[:i], s.queues[i+1:]...)
+				s.queues = append(s.queues[:j], s.queues[j+1:]...)
 				break
 			}
 		}
 	}
+	depth := q.pendingCount()
 	s.mu.Unlock()
-	s.cond.Broadcast() // a worker slot or the closed pool may now drain
+	// A worker slot, a parked duplicate, or the closed pool may now
+	// drain.
+	s.cond.Broadcast()
+	if tel := q.cfg.Telemetry; tel != nil {
+		tel.SetQueueDepth(depth)
+		tel.PointDone()
+	}
 	if finished {
 		close(q.done)
 	}

@@ -16,7 +16,7 @@ func TestSchedulerMatchesPrivatePool(t *testing.T) {
 		bernoulliPoint("b", 12, 0.2),
 		bernoulliPoint("c", 13, 0.5),
 	}
-	cfg := Config{Shots: 640, Workers: 3}
+	cfg := Config{Policy: Policy{Shots: 640}, Mechanism: Mechanism{Workers: 3}}
 	want := Run(cfg, points)
 
 	sched := NewScheduler(4)
@@ -39,11 +39,11 @@ func TestSchedulerFairRoundRobin(t *testing.T) {
 		mu    sync.Mutex
 		order []byte
 	)
-	cfg := Config{Shots: 1, Workers: 1, Scheduler: s, OnResult: func(r Result) {
+	cfg := Config{Policy: Policy{Shots: 1}, Mechanism: Mechanism{Workers: 1, Scheduler: s, OnResult: func(r Result) {
 		mu.Lock()
 		order = append(order, r.Key[0])
 		mu.Unlock()
-	}}
+	}}}
 	mk := func(name string, n int) []Point {
 		pts := make([]Point, n)
 		for i := range pts {
@@ -120,7 +120,7 @@ func TestSchedulerWorkersCapRespected(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		Run(Config{Shots: 1, Workers: capLimit, Scheduler: s}, points)
+		Run(Config{Policy: Policy{Shots: 1}, Mechanism: Mechanism{Workers: capLimit, Scheduler: s}}, points)
 		close(done)
 	}()
 	// Wait for the first capLimit points to start, give the scheduler a
@@ -141,13 +141,13 @@ func TestSchedulerWorkersCapRespected(t *testing.T) {
 // recomputed interval and tail statistics.
 func TestCacheSkipsPreparedPoints(t *testing.T) {
 	cache := newMapCache()
-	live := Run(Config{Shots: 320, Cache: cache}, []Point{
+	live := Run(Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
 		{Key: "a", Hash: "ha", Prepare: bernoulliPoint("a", 21, 0.1).Prepare},
 	})[0]
 	if live.Cached {
 		t.Fatal("first run reported Cached")
 	}
-	replay := Run(Config{Shots: 320, Cache: cache}, []Point{
+	replay := Run(Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
 		{Key: "a", Hash: "ha", Prepare: func() BatchRunner {
 			t.Fatal("Prepare called despite committed cache entry")
 			return nil
@@ -161,7 +161,7 @@ func TestCacheSkipsPreparedPoints(t *testing.T) {
 		t.Fatalf("replay diverged:\n%+v\nvs\n%+v", replay, live)
 	}
 	// Hashless points bypass the cache entirely.
-	r := Run(Config{Shots: 64, Cache: cache}, []Point{bernoulliPoint("nohash", 5, 0.5)})[0]
+	r := Run(Config{Policy: Policy{Shots: 64}, Mechanism: Mechanism{Cache: cache}}, []Point{bernoulliPoint("nohash", 5, 0.5)})[0]
 	if r.Cached || r.Shots != 64 {
 		t.Fatalf("hashless point touched the cache: %+v", r)
 	}

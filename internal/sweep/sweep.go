@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"sort"
 
+	"radqec/internal/control"
 	"radqec/internal/stats"
+	"radqec/internal/telemetry"
 )
 
 // Counts accumulates the shot outcomes of one point.
@@ -60,10 +62,19 @@ type Point struct {
 	// per-point state (executors, decode graphs, pooled simulators) is
 	// built once and reused across every batch of the point.
 	Prepare func() BatchRunner
+	// TailSensitive marks the point's tail statistics (the CVaR and
+	// quantile columns) as the quantity of interest: the scoring
+	// controller allocates shot budget to the widest tail CIs first and
+	// telemetry reports the tail width on every chunk. Purely a
+	// scheduling hint — results are unaffected.
+	TailSensitive bool
 }
 
-// Config controls shot allocation and parallelism.
-type Config struct {
+// Policy is the result-determining half of a sweep's configuration:
+// shot budgets, the stop rule, and batch alignment. Everything a Result
+// depends on lives here — two runs with equal Policy over equal points
+// produce identical Results whatever the Mechanism.
+type Policy struct {
 	// Shots is the fixed per-point shot count when CI is zero
 	// (default 2000, the paper harness default).
 	Shots int
@@ -85,6 +96,13 @@ type Config struct {
 	// words; by the BatchRunner contract alignment never changes the
 	// merged counts, only how the work is chunked.
 	Align int
+}
+
+// Mechanism is the execution half of the configuration: parallelism,
+// caching, delivery, and the closed-loop controller and telemetry
+// hooks. Mechanism settings steer wall-clock time, engine-call
+// granularity and completion order — never the Results.
+type Mechanism struct {
 	// Workers caps how many points run concurrently (0 = GOMAXPROCS).
 	Workers int
 	// OnResult, when set, receives each point's result as it completes.
@@ -105,6 +123,26 @@ type Config struct {
 	// Scheduler, when set, runs the sweep's points on this shared worker
 	// pool (fair across concurrent campaigns) instead of a private one.
 	Scheduler *Scheduler
+	// Control, when set and enabled, closes the loop for this campaign:
+	// policy batches are chunked at controller-scored sizes, point
+	// handouts follow tail-aware priorities instead of FIFO, campaign
+	// worker shares follow deficit weights, and identical in-flight
+	// points are single-flighted through the cache. nil (or disabled)
+	// keeps the static legacy scheduling. The controller only re-orders
+	// and re-chunks work within the BatchRunner (start, n) contract, so
+	// results are byte-identical with it on or off.
+	Control *control.Policy
+	// Telemetry, when set, receives a Signal for every engine invocation
+	// plus batch, point and cache counters. Strictly observational.
+	Telemetry *telemetry.Campaign
+}
+
+// Config pairs a sweep's policy with its mechanism. The split is the
+// determinism boundary: Policy decides what is computed, Mechanism only
+// how the computation is scheduled.
+type Config struct {
+	Policy
+	Mechanism
 }
 
 // PointCache persists per-point progress keyed by the point's content
@@ -167,7 +205,7 @@ func (c Config) withDefaults() Config {
 }
 
 // alignUp rounds n up to the alignment grid.
-func (c Config) alignUp(n int) int {
+func (c Policy) alignUp(n int) int {
 	if rem := n % c.Align; rem != 0 {
 		n += c.Align - rem
 	}
@@ -243,46 +281,6 @@ func Run(cfg Config, points []Point) []Result {
 	return s.Run(cfg, points)
 }
 
-// runPoint drives one point to its stopping rule, through the cache
-// when the point is content-addressed: a committed result short-
-// circuits the campaign entirely, a checkpoint (under cfg.Resume)
-// restarts the shot loop at the last batch boundary, and every batch
-// the loop completes is checkpointed back.
-func runPoint(cfg Config, p Point, scratch *[]float64) Result {
-	r := Result{Key: p.Key}
-	cache := cfg.Cache
-	if p.Hash == "" {
-		cache = nil
-	}
-	if cache != nil {
-		if cp, ok := cache.Lookup(p.Hash); ok {
-			r.loadCached(cp)
-			r.Cached = true
-			return r.finalize(scratch)
-		}
-		if cfg.Resume {
-			if cp, ok := cache.LookupPartial(p.Hash); ok {
-				r.loadCached(cp)
-			}
-		}
-	}
-	save := func() {
-		if cache != nil {
-			cache.Checkpoint(p.Hash, r.cachedPoint())
-		}
-	}
-	run := p.Prepare()
-	if cfg.CI <= 0 {
-		r.Converged = runFixed(cfg, run, &r, save)
-	} else {
-		r.Converged = runAdaptive(cfg, run, &r, save)
-	}
-	if cache != nil {
-		cache.Commit(p.Hash, r.cachedPoint())
-	}
-	return r.finalize(scratch)
-}
-
 // loadCached restores the persisted progress of a point.
 func (r *Result) loadCached(cp CachedPoint) {
 	r.Shots, r.Errors = cp.Shots, cp.Errors
@@ -310,62 +308,16 @@ func (r Result) finalize(scratch *[]float64) Result {
 	return r
 }
 
-// runFixed executes exactly cfg.Shots shots, split into batches only so
-// the per-batch tail statistics exist; the merged counts equal a single
-// contiguous run by the BatchRunner contract. A resumed result enters
-// with its checkpointed shots already recorded and the loop continues
-// from that boundary.
-func runFixed(cfg Config, run BatchRunner, r *Result, save func()) bool {
-	batch := (cfg.Shots + fixedBatches - 1) / fixedBatches
-	if batch < 1 {
-		batch = 1
-	}
-	batch = cfg.alignUp(batch)
-	for r.Shots < cfg.Shots {
-		n := cfg.Shots - r.Shots
-		if n > batch {
-			n = batch
-		}
-		r.record(run(r.Shots, n))
-		if r.Shots < cfg.Shots {
-			// The final batch skips the checkpoint: the commit that
-			// follows immediately carries the identical state.
-			save()
-		}
-	}
-	return true
-}
-
 // fixedBatches is how many batches a fixed-shot point is split into for
-// tail statistics.
+// tail statistics. Fixed points execute exactly cfg.Shots shots across
+// those batches (the pointRun state machine in point.go drives the
+// batch loop); the merged counts equal a single contiguous run by the
+// BatchRunner contract. Adaptive points add batches until the Wilson
+// half-width target is met or the cap is exhausted, with the stopping
+// rule evaluated at each batch boundary so a resumed point whose
+// checkpoint already satisfies the target stops without running an
+// extra batch the uninterrupted campaign never ran.
 const fixedBatches = 8
-
-// runAdaptive adds batches until the Wilson half-width target is met or
-// the cap is exhausted, sizing each batch from the current rate estimate
-// so most points need only two or three allocation rounds. The stopping
-// rule is evaluated at the top of the loop so a resumed point whose
-// checkpoint already satisfies the target (killed between its last
-// batch and the commit) stops without running an extra batch the
-// uninterrupted campaign never ran.
-func runAdaptive(cfg Config, run BatchRunner, r *Result, save func()) bool {
-	for {
-		if r.Shots > 0 && stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI {
-			return true
-		}
-		n := nextBatch(cfg, r.Counts)
-		if n == 0 {
-			return false // cap reached before the target
-		}
-		r.record(run(r.Shots, n))
-		if stats.WilsonHalfWidth(r.Errors, r.Shots) <= cfg.CI || r.Shots >= cfg.MaxShots {
-			// Converged (or cap spent): the loop exits on its next
-			// check, and the commit carries this exact state — no
-			// checkpoint needed.
-			continue
-		}
-		save()
-	}
-}
 
 // record folds one batch into the running counts and batch-rate stream.
 func (r *Result) record(c Counts) {

@@ -38,7 +38,7 @@ func countShots(seed uint64, p float64, shots int) Counts {
 }
 
 func TestFixedModeMatchesContiguousRun(t *testing.T) {
-	cfg := Config{Shots: 1000}
+	cfg := Config{Policy: Policy{Shots: 1000}}
 	res := Run(cfg, []Point{bernoulliPoint("a", 3, 0.3)})
 	if len(res) != 1 {
 		t.Fatalf("results = %d", len(res))
@@ -70,8 +70,8 @@ func TestRunWorkerDeterminism(t *testing.T) {
 		return pts
 	}
 	for _, cfg := range []Config{
-		{Shots: 700},
-		{CI: 0.05, Batch: 100},
+		{Policy: Policy{Shots: 700}},
+		{Policy: Policy{CI: 0.05, Batch: 100}},
 	} {
 		one := cfg
 		one.Workers = 1
@@ -87,7 +87,7 @@ func TestRunWorkerDeterminism(t *testing.T) {
 
 func TestAdaptiveStopsAtTarget(t *testing.T) {
 	const ci = 0.02
-	cfg := Config{CI: ci}
+	cfg := Config{Policy: Policy{CI: ci}}
 	res := Run(cfg, []Point{bernoulliPoint("easy", 9, 0.01)})[0]
 	if !res.Converged {
 		t.Fatalf("easy point did not converge: %+v", res.Counts)
@@ -102,7 +102,7 @@ func TestAdaptiveStopsAtTarget(t *testing.T) {
 
 func TestAdaptiveSavesShotsOverFixedGuarantee(t *testing.T) {
 	const ci = 0.03
-	cfg := Config{CI: ci}
+	cfg := Config{Policy: Policy{CI: ci}}
 	var pts []Point
 	for i := 0; i < 10; i++ {
 		pts = append(pts, bernoulliPoint(fmt.Sprintf("p%d", i), uint64(i), float64(i)/20))
@@ -123,7 +123,7 @@ func TestAdaptiveSavesShotsOverFixedGuarantee(t *testing.T) {
 }
 
 func TestAdaptiveRespectsCap(t *testing.T) {
-	cfg := Config{CI: 0.001, MaxShots: 500, Batch: 128}
+	cfg := Config{Policy: Policy{CI: 0.001, MaxShots: 500, Batch: 128}}
 	res := Run(cfg, []Point{bernoulliPoint("hard", 5, 0.5)})[0]
 	if res.Shots != 500 {
 		t.Fatalf("shots = %d, want the 500 cap", res.Shots)
@@ -155,7 +155,7 @@ func TestWorstCaseShots(t *testing.T) {
 func TestTailStatistics(t *testing.T) {
 	// One point, fixed mode: tail stats must equal the stats-package
 	// view of the recorded batch rates.
-	res := Run(Config{Shots: 2000}, []Point{bernoulliPoint("t", 77, 0.3)})[0]
+	res := Run(Config{Policy: Policy{Shots: 2000}}, []Point{bernoulliPoint("t", 77, 0.3)})[0]
 	br := res.BatchRates
 	want := Tail{
 		Q50:    stats.Quantile(br, 0.50),
@@ -173,9 +173,9 @@ func TestTailStatistics(t *testing.T) {
 
 func TestOnResultStreamsEveryPoint(t *testing.T) {
 	var keys []string
-	cfg := Config{Shots: 50, Workers: 4, OnResult: func(r Result) {
+	cfg := Config{Policy: Policy{Shots: 50}, Mechanism: Mechanism{Workers: 4, OnResult: func(r Result) {
 		keys = append(keys, r.Key) // serialised by the engine
-	}}
+	}}}
 	var pts []Point
 	for i := 0; i < 9; i++ {
 		pts = append(pts, bernoulliPoint(fmt.Sprintf("k%d", i), uint64(i), 0.2))
@@ -208,7 +208,7 @@ func TestAlignRoundsBatchSizes(t *testing.T) {
 			return Counts{Shots: n}
 		}
 	}}
-	res := Run(Config{Shots: 1000, Align: 64, Workers: 1}, []Point{pt})[0]
+	res := Run(Config{Policy: Policy{Shots: 1000, Align: 64}, Mechanism: Mechanism{Workers: 1}}, []Point{pt})[0]
 	if res.Shots != 1000 {
 		t.Fatalf("shots = %d", res.Shots)
 	}
@@ -226,7 +226,7 @@ func TestAlignRoundsBatchSizes(t *testing.T) {
 	// Adaptive mode: same property, and the counts still match the
 	// contiguous stream (alignment only re-chunks the same shot range).
 	sizes = nil
-	adaptive := Run(Config{CI: 0.05, Align: 64, Workers: 1},
+	adaptive := Run(Config{Policy: Policy{CI: 0.05, Align: 64}, Mechanism: Mechanism{Workers: 1}},
 		[]Point{bernoulliPoint("b", 3, 0.2)})[0]
 	want := countShots(3, 0.2, adaptive.Shots)
 	if adaptive.Counts != want {
@@ -238,8 +238,8 @@ func TestAlignDoesNotChangeMergedCounts(t *testing.T) {
 	// The BatchRunner contract makes alignment invisible in the counts:
 	// the same point swept with Align 1 and Align 64 at fixed shots
 	// yields identical totals.
-	a := Run(Config{Shots: 900}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
-	b := Run(Config{Shots: 900, Align: 64}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	a := Run(Config{Policy: Policy{Shots: 900}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	b := Run(Config{Policy: Policy{Shots: 900, Align: 64}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
 	if a.Counts != b.Counts {
 		t.Fatalf("alignment changed counts: %+v vs %+v", a.Counts, b.Counts)
 	}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordAssignsDenseSequence(t *testing.T) {
+	c := NewCampaign(1, "fig5")
+	for i := 0; i < 5; i++ {
+		c.Record(Signal{Key: "p", Shots: 10, Errors: 1, WallNS: 1e6})
+	}
+	sigs, next := c.Since(0, RingSize)
+	if len(sigs) != 5 || next != 5 {
+		t.Fatalf("got %d signals, next %d", len(sigs), next)
+	}
+	for i, s := range sigs {
+		if s.Seq != uint64(i) {
+			t.Fatalf("signal %d has seq %d", i, s.Seq)
+		}
+	}
+}
+
+func TestSinceChunksAndResumes(t *testing.T) {
+	c := NewCampaign(1, "x")
+	for i := 0; i < 10; i++ {
+		c.Record(Signal{Start: i})
+	}
+	var got []Signal
+	seq := uint64(0)
+	for {
+		sigs, next := c.Since(seq, 3)
+		if len(sigs) == 0 {
+			break
+		}
+		got = append(got, sigs...)
+		seq = next
+	}
+	if len(got) != 10 {
+		t.Fatalf("chunked read returned %d signals", len(got))
+	}
+	for i, s := range got {
+		if s.Start != i {
+			t.Fatalf("signal %d out of order: %+v", i, s)
+		}
+	}
+}
+
+func TestSinceSkipsOverwrittenTail(t *testing.T) {
+	c := NewCampaign(1, "x")
+	n := RingSize + 100
+	for i := 0; i < n; i++ {
+		c.Record(Signal{Start: i})
+	}
+	sigs, next := c.Since(0, n)
+	if len(sigs) != RingSize {
+		t.Fatalf("lagged reader got %d signals, ring holds %d", len(sigs), RingSize)
+	}
+	if sigs[0].Seq != uint64(n-RingSize) {
+		t.Fatalf("oldest retained seq = %d, want %d", sigs[0].Seq, n-RingSize)
+	}
+	if next != uint64(n) {
+		t.Fatalf("next = %d, want %d", next, n)
+	}
+	// Reading past the head returns nothing and stays at the head.
+	if sigs, next := c.Since(uint64(n), 10); len(sigs) != 0 || next != uint64(n) {
+		t.Fatalf("read past head returned %d signals, next %d", len(sigs), next)
+	}
+}
+
+func TestRecordConcurrent(t *testing.T) {
+	c := NewCampaign(1, "x")
+	var wg sync.WaitGroup
+	const workers, each = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Record(Signal{Shots: 1, WallNS: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Chunks != workers*each || st.Shots != workers*each {
+		t.Fatalf("stats after concurrent record: %+v", st)
+	}
+	sigs, _ := c.Since(0, RingSize)
+	seen := map[uint64]bool{}
+	for _, s := range sigs {
+		if seen[s.Seq] {
+			t.Fatalf("duplicate seq %d", s.Seq)
+		}
+		seen[s.Seq] = true
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	c := NewCampaign(7, "fig6")
+	c.Record(Signal{Shots: 1000, Errors: 10, WallNS: 5e8, AllocBytes: 100})
+	c.Record(Signal{Shots: 1000, Errors: 20, WallNS: 5e8, AllocBytes: 200})
+	c.Record(Signal{Shots: 500, CacheHit: true})
+	c.BatchDone()
+	c.BatchDone()
+	c.CacheMiss()
+	c.PointDone()
+	c.SetControl(4096, 3)
+	c.SetQueueDepth(9)
+	c.SetRoute(Route{Requested: "auto", Resolved: "batch", Reason: "r"})
+	st := c.Stats()
+	if st.ID != 7 || st.Experiment != "fig6" {
+		t.Fatalf("identity: %+v", st)
+	}
+	if st.Shots != 2500 || st.Errors != 30 || st.Chunks != 3 || st.Batches != 2 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.PointsDone != 1 || st.AllocBytes != 300 {
+		t.Fatalf("cache/alloc: %+v", st)
+	}
+	// Engine throughput: shots over summed engine wall time (1s here),
+	// so the zero-wall cache replay does not inflate the rate base.
+	if st.ShotsPerSec != 2500 {
+		t.Fatalf("shots/s = %v, want 2500", st.ShotsPerSec)
+	}
+	if st.ChunkSize != 4096 || st.DwellLeft != 3 || st.QueueDepth != 9 {
+		t.Fatalf("gauges: %+v", st)
+	}
+	if st.Route == nil || st.Route.Resolved != "batch" {
+		t.Fatalf("route: %+v", st.Route)
+	}
+	if st.Done {
+		t.Fatal("done before Finish")
+	}
+	c.Finish()
+	if !c.Stats().Done {
+		t.Fatal("Finish not visible in stats")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	a := r.New("fig5")
+	b := r.New("fig6")
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Fatalf("ids %d, %d", a.ID(), b.ID())
+	}
+	if got := r.Active(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("active = %v", got)
+	}
+	if c, ok := r.Get(1); !ok || c != a {
+		t.Fatal("Get missed an active campaign")
+	}
+	r.Finish(a)
+	if !a.Done() {
+		t.Fatal("Finish did not mark the campaign done")
+	}
+	if got := r.Active(); len(got) != 1 || got[0] != b {
+		t.Fatalf("active after finish = %v", got)
+	}
+	// Finished campaigns stay queryable through the recent tail.
+	if c, ok := r.Get(1); !ok || c != a {
+		t.Fatal("finished campaign not found in recent tail")
+	}
+	if _, ok := r.Get(99); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestRegistryRecentTailBounded(t *testing.T) {
+	r := NewRegistry()
+	first := r.New("e")
+	r.Finish(first)
+	for i := 0; i < keepRecent; i++ {
+		r.Finish(r.New("e"))
+	}
+	if _, ok := r.Get(first.ID()); ok {
+		t.Fatal("oldest finished campaign should have rotated out")
+	}
+	if c, ok := r.Get(2); !ok || c.ID() != 2 {
+		t.Fatal("recent campaign inside the tail bound not found")
+	}
+}
