@@ -10,6 +10,7 @@
 package radqec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -271,7 +272,7 @@ func BenchmarkSweepFixed(b *testing.B) {
 	pts := sweepBenchPoints(b) // Prepare re-runs per sweep, so reuse is safe
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sweep.Run(sweep.Config{Policy: sweep.Policy{Shots: shots}}, pts)
+		sweep.Run(context.Background(), sweep.Config{Policy: sweep.Policy{Shots: shots}}, pts)
 	}
 }
 
@@ -279,7 +280,7 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 	pts := sweepBenchPoints(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sweep.Run(sweep.Config{Policy: sweep.Policy{CI: 0.05}}, pts)
+		sweep.Run(context.Background(), sweep.Config{Policy: sweep.Policy{CI: 0.05}}, pts)
 	}
 }
 

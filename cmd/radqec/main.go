@@ -58,12 +58,15 @@
 //	             emit each table as a JSON record
 //	-o FILE      write to FILE instead of stdout
 //
-// SIGINT/SIGTERM flush the store and any active pprof profiles before
-// exiting nonzero, so a killed campaign leaves a resumable store
-// behind instead of a torn file.
+// The first SIGINT/SIGTERM cancels the campaign at its next batch
+// boundary — in-progress points checkpoint, the store and any active
+// pprof profiles flush, and the process exits 128+signal with a
+// resumable store behind it. A second signal skips the boundary wait
+// and exits immediately (the store still flushes whole records).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -75,6 +78,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -185,6 +189,12 @@ func main() {
 		cfg.Cache = st
 		resultStore = st
 	}
+	// The campaign context is what the signal handler cancels: the sweep
+	// observes it at the next batch boundary, flushes every in-progress
+	// point's checkpoint, and returns the cause.
+	runCtx, cancelRun := context.WithCancelCause(context.Background())
+	defer cancelRun(nil)
+	cfg.Context = runCtx
 
 	defer closeStoreOnce()
 
@@ -258,10 +268,23 @@ func main() {
 	// Notify is registered here, not inside the goroutine, so there is
 	// no startup window where a signal still takes the default
 	// disposition after the store and profile hooks are live.
-	sigc := make(chan os.Signal, 1)
+	// The first signal cancels the campaign context: workers stop at
+	// their next batch boundary with every in-progress point's
+	// checkpoint flushed, and the experiment loop exits through the
+	// graceful path below. A second signal is the escape hatch — flush
+	// and exit immediately without waiting for the boundary.
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
+		if n, ok := sig.(syscall.Signal); ok {
+			interruptSignal.Store(int32(n))
+		} else {
+			interruptSignal.Store(-1)
+		}
+		fmt.Fprintf(os.Stderr, "radqec: %v: cancelling at the next batch boundary (signal again to exit now)\n", sig)
+		cancelRun(fmt.Errorf("interrupted by %v", sig))
+		sig = <-sigc
 		flushOnce()
 		if resultStore != nil {
 			closeStoreOnce()
@@ -304,6 +327,20 @@ func main() {
 		start := time.Now()
 		tab, err := e.Run(cfg)
 		if err != nil {
+			if sig := interruptSignal.Load(); sig != 0 {
+				// Graceful cancellation: the sweep stopped at a batch
+				// boundary and flushed its checkpoints. Make them
+				// durable and exit with the conventional signal status.
+				flushOnce()
+				if resultStore != nil {
+					closeStoreOnce()
+					fmt.Fprintf(os.Stderr, "radqec: interrupted; store flushed; rerun with -store %s -resume to continue\n", *storeDir)
+				}
+				if sig > 0 {
+					os.Exit(128 + int(sig))
+				}
+				os.Exit(1)
+			}
 			fatal(err)
 		}
 		if tel := cfg.Telemetry; tel != nil {
@@ -373,6 +410,11 @@ var (
 	resultStore *store.Store
 	storeGuard  sync.Once
 )
+
+// interruptSignal holds the first signal's number (or -1 for a
+// non-syscall signal) so the experiment loop can tell a graceful
+// cancellation from an engine error and exit 128+signal.
+var interruptSignal atomic.Int32
 
 func closeStoreOnce() {
 	storeGuard.Do(func() {

@@ -27,6 +27,11 @@
 //	                 size before re-scoring (default 4)
 //	-hysteresis H    default relative score advantage a challenger chunk
 //	                 size needs to displace the incumbent (default 0.15)
+//	-read-header-timeout D  time allowed to read a request's headers
+//	                 (default 10s); bounds slowloris-style half-open
+//	                 connections
+//	-idle-timeout D  keep-alive connection idle limit (default 2m)
+//	-max-header-bytes N  request header size cap (default 1 MiB)
 //
 // Endpoints are documented in package server. SIGINT/SIGTERM drain
 // in-flight campaigns, flush the store and exit.
@@ -56,6 +61,9 @@ func main() {
 	controller := flag.String("controller", "on", "default score-driven batch/allocation controller: on or off")
 	dwell := flag.Int("dwell", 4, "default policy batches the controller holds a chunk size before re-scoring")
 	hysteresis := flag.Float64("hysteresis", 0.15, "default relative score advantage needed to displace the incumbent chunk size")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit")
+	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "request header size cap in bytes")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "radqecd: unexpected arguments %v\n", flag.Args())
@@ -77,6 +85,15 @@ func main() {
 	if *hysteresis < 0 || *hysteresis >= 1 {
 		usageError(fmt.Sprintf("-hysteresis %g out of range (want 0 <= hysteresis < 1)", *hysteresis))
 	}
+	if *readHeaderTimeout <= 0 {
+		usageError(fmt.Sprintf("-read-header-timeout %v out of range (want > 0)", *readHeaderTimeout))
+	}
+	if *idleTimeout <= 0 {
+		usageError(fmt.Sprintf("-idle-timeout %v out of range (want > 0)", *idleTimeout))
+	}
+	if *maxHeaderBytes <= 0 {
+		usageError(fmt.Sprintf("-max-header-bytes %d out of range (want > 0)", *maxHeaderBytes))
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -97,7 +114,18 @@ func main() {
 		ctrl = &control.Policy{Enabled: true, Dwell: *dwell, Hysteresis: *hysteresis}
 	}
 	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// No blanket ReadTimeout/WriteTimeout: campaign streams legitimately
+	// run for minutes and per-write deadlines already guard them (see
+	// server.streamWriteTimeout). The header and idle limits below are
+	// what keep half-open or abandoned connections from pinning the
+	// daemon.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
 
 	// SIGINT/SIGTERM: stop accepting, drain in-flight campaigns (their
 	// points keep checkpointing into the store), then flush and close

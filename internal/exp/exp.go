@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -55,6 +56,13 @@ func Decoders() []string { return core.Decoders() }
 
 // Config controls campaign sizes and reproducibility.
 type Config struct {
+	// Context, when set, bounds every sweep the experiment runs:
+	// cancellation is observed at policy-batch boundaries, in-flight
+	// points flush their partial progress to Cache as checkpoints, and
+	// Experiment.Run returns the cancellation cause — so a resubmitted
+	// campaign resumes byte-identically. nil means Background (never
+	// cancelled), the classic behaviour.
+	Context context.Context
 	// Shots per measured point. The paper uses millions; the default
 	// (2000) already resolves every qualitative shape.
 	Shots int
@@ -470,8 +478,30 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 			points[i].Hash = s.fingerprint(cfg)
 		}
 	}
-	return sweep.Run(cfg.sweepConfig(), points)
+	results, err := sweep.Run(cfg.context(), cfg.sweepConfig(), points)
+	if err != nil {
+		// The figure builders compose tables through plain value
+		// plumbing with no error returns of their own; a sweep's
+		// terminal error (cancellation, or a panic the scheduler
+		// isolated) rides a runAbort panic up to the recover guard
+		// wrapped around every Experiment.Run in the registry.
+		panic(runAbort{err})
+	}
+	return results
 }
+
+// context resolves the config's campaign context.
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// runAbort carries a sweep's terminal error through the figure
+// builders to the registry's recover guard, which converts it back
+// into the error Experiment.Run reports.
+type runAbort struct{ err error }
 
 // resultRates projects sweep results onto their rates.
 func resultRates(results []sweep.Result) []float64 {

@@ -63,6 +63,27 @@ func Experiments() []Experiment {
 			return run(c)
 		}
 	}
+	// Outermost guard: a sweep aborted by cancellation or an isolated
+	// worker panic unwinds the figure builder as a runAbort, converted
+	// here into the error Run reports. Any other panic — a genuine bug
+	// in a builder — keeps propagating untouched.
+	for i := range exps {
+		run := exps[i].Run
+		exps[i].Run = func(c Config) (t *Table, err error) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				ab, ok := r.(runAbort)
+				if !ok {
+					panic(r)
+				}
+				t, err = nil, ab.err
+			}()
+			return run(c)
+		}
+	}
 	return exps
 }
 

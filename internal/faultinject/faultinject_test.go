@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Eval(StoreWriteError); err != nil {
+		t.Fatalf("disarmed Eval returned %v", err)
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("armed list %v on a reset harness", got)
+	}
+}
+
+func TestErrorModeCountAndSkip(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(StoreWriteError, "error*2@1"); err != nil {
+		t.Fatal(err)
+	}
+	// One skipped, two fired, then quiet forever.
+	want := []bool{false, true, true, false, false}
+	for i, fire := range want {
+		err := Eval(StoreWriteError)
+		if fire != (err != nil) {
+			t.Fatalf("eval %d: err=%v, want fire=%v", i, err, fire)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: %v does not wrap ErrInjected", i, err)
+		}
+	}
+	if got := Hits(StoreWriteError); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+func TestSleepMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(StreamStall, "sleep(20ms)*1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval(StreamStall); err != nil {
+		t.Fatalf("sleep mode returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("sleep failpoint returned after %v, want >= 20ms", d)
+	}
+	// Count spent: the second evaluation must be instant.
+	start = time.Now()
+	Eval(StreamStall)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("spent sleep failpoint still slept %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(WorkerPanic, "panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic failpoint did not panic")
+			}
+		}()
+		Eval(WorkerPanic)
+	}()
+	// One-shot: the next evaluation is quiet.
+	if err := Eval(WorkerPanic); err != nil {
+		t.Fatalf("spent panic failpoint returned %v", err)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(StoreWriteError, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(StreamDrop, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if got := Armed(); len(got) != 2 {
+		t.Fatalf("armed %v, want 2 sites", got)
+	}
+	Disable(StoreWriteError)
+	if err := Eval(StoreWriteError); err != nil {
+		t.Fatalf("disabled failpoint fired: %v", err)
+	}
+	if err := Eval(StreamDrop); err == nil {
+		t.Fatal("sibling failpoint was disarmed by Disable of another name")
+	}
+	Reset()
+	if err := Eval(StreamDrop); err != nil {
+		t.Fatalf("failpoint fired after Reset: %v", err)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, spec := range []string{
+		"", "explode", "error*0", "error*x", "error@-1",
+		"sleep", "sleep(nope)", "sleep(50ms", "error(arg)",
+	} {
+		if err := Enable("x", spec); err == nil {
+			t.Fatalf("spec %q was accepted", spec)
+		}
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("failed Enables left %v armed", got)
+	}
+}
+
+func TestLoadEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "store.write.error=error*1; sweep.worker.panic=panic*1@2")
+	if err := LoadEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Armed(); len(got) != 2 {
+		t.Fatalf("armed %v, want 2 sites from the environment", got)
+	}
+	Reset()
+	t.Setenv(EnvVar, "store.write.error")
+	if err := LoadEnv(); err == nil {
+		t.Fatal("malformed plan was accepted")
+	}
+}

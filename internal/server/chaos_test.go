@@ -1,0 +1,280 @@
+package server
+
+// Chaos suite for the daemon: campaign cancellation mid-stream with
+// byte-identical resume, worker panics that fail one campaign while
+// the daemon keeps serving, and degraded-store health reporting.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"radqec/internal/exp"
+	"radqec/internal/faultinject"
+	"radqec/internal/sweep"
+)
+
+// streamRecord is one line of a campaign stream, tolerant of every
+// record type the chaos paths can produce.
+type streamRecord struct {
+	Type      string `json:"type"`
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	Error     string `json:"error"`
+	Cancelled bool   `json:"cancelled"`
+}
+
+// startCampaign posts a campaign and returns the live response (body
+// still streaming) plus the campaign ID from the response header.
+func startCampaign(t *testing.T, ts *httptest.Server, req CampaignRequest, query string) (*http.Response, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/campaigns"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Radqec-Campaign-Id")
+	if id == "" {
+		resp.Body.Close()
+		t.Fatal("no campaign id header")
+	}
+	return resp, id
+}
+
+// drainStream scans a campaign stream to EOF and returns its records.
+func drainStream(t *testing.T, resp *http.Response) []streamRecord {
+	t.Helper()
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []streamRecord
+	for sc.Scan() {
+		var r streamRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("stream line not JSON: %q", sc.Bytes())
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestChaosDeleteCancelsAndResumesByteIdentical: DELETE on a running
+// campaign ends its stream with a cancelled error record, and an
+// identical resubmission resumes from the flushed checkpoints to the
+// exact table a never-cancelled run produces.
+func TestChaosDeleteCancelsAndResumesByteIdentical(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts, _ := newTestServer(t)
+	req := CampaignRequest{Experiment: "threshold", Shots: 384, Seed: seed(31)}
+	ref, err := exp.Threshold(exp.Config{Shots: 384, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall every store write so the campaign is still mid-flight when
+	// the DELETE lands; the stall changes timing only, never results.
+	if err := faultinject.Enable(faultinject.StoreWriteSlow, "sleep(15ms)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, id := startCampaign(t, ts, req, "")
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", dresp.StatusCode)
+	}
+	recs := drainStream(t, resp)
+	if len(recs) == 0 {
+		t.Fatal("cancelled stream carried no records")
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "error" || !last.Cancelled {
+		t.Fatalf("cancelled stream ended with %+v, want a cancelled error record", last)
+	}
+	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 1 {
+		t.Fatalf("campaigns_cancelled_total = %v", got)
+	}
+	if got := metricValue(t, ts, "campaign_errors_total"); got != 0 {
+		t.Fatalf("cancellation counted as a campaign error: %v", got)
+	}
+	// Resubmission resumes from the flushed checkpoints and lands on
+	// the byte-identical table of an uninterrupted run.
+	faultinject.Reset()
+	points, table := submit(t, ts, req)
+	if len(points) != 15 {
+		t.Fatalf("resumed run streamed %d points", len(points))
+	}
+	if table.Title != ref.Title || !reflect.DeepEqual(table.Rows, ref.Rows) || !reflect.DeepEqual(table.Notes, ref.Notes) {
+		t.Fatalf("resumed table diverged from the uninterrupted reference:\n%+v\nvs\n%+v", table, ref)
+	}
+}
+
+// TestChaosDeleteUnknownCampaign: cancelling a finished or never-known
+// campaign is a 404, not a panic or a hung entry.
+func TestChaosDeleteUnknownCampaign(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/999", nil)
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestChaosWorkerPanicFailsOneCampaignOnly: an injected worker panic
+// converts into that campaign's error record — stack logged, counter
+// bumped — and the daemon immediately serves the next campaign.
+func TestChaosWorkerPanicFailsOneCampaignOnly(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts, _ := newTestServer(t)
+	if err := faultinject.Enable(faultinject.WorkerPanic, "panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, "")
+	recs := drainStream(t, resp)
+	if len(recs) == 0 {
+		t.Fatal("panicked stream carried no records")
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "error" || last.Cancelled {
+		t.Fatalf("panicked campaign ended with %+v, want a non-cancelled error record", last)
+	}
+	if got := metricValue(t, ts, "worker_panics_total"); got != 1 {
+		t.Fatalf("worker_panics_total = %v", got)
+	}
+	if faultinject.Hits(faultinject.WorkerPanic) != 1 {
+		t.Fatalf("failpoint hits = %d", faultinject.Hits(faultinject.WorkerPanic))
+	}
+	// The daemon survives: the same request now completes, resuming
+	// whatever the failed campaign managed to commit.
+	points, _ := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)})
+	if len(points) != 15 {
+		t.Fatalf("post-panic campaign streamed %d points", len(points))
+	}
+	if got := metricValue(t, ts, "campaigns_active"); got != 0 {
+		t.Fatalf("campaigns_active = %v after both campaigns ended", got)
+	}
+}
+
+// TestChaosClientDisconnectDetachedByDefault: a vanished client does
+// not cancel a detached (default) campaign — the work finishes and
+// lands in the store for the next submission.
+func TestChaosClientDisconnectDetachedByDefault(t *testing.T) {
+	srv, ts, st := newTestServer(t)
+	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, "")
+	resp.Body.Close() // client walks away mid-stream
+	waitIdle(t, srv)
+	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 0 {
+		t.Fatalf("detached campaign cancelled on disconnect: %v", got)
+	}
+	if got := st.Stats().Commits; got != 15 {
+		t.Fatalf("store commits = %d, want the full 15 despite the disconnect", got)
+	}
+}
+
+// TestChaosClientDisconnectCancelsWithDetachOff: ?detach=0 opts the
+// campaign into client-lifetime coupling — disconnect cancels it at
+// the next batch boundary.
+func TestChaosClientDisconnectCancelsWithDetachOff(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	srv, ts, _ := newTestServer(t)
+	if err := faultinject.Enable(faultinject.StoreWriteSlow, "sleep(15ms)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 384, Seed: seed(31)}, "?detach=0")
+	resp.Body.Close()
+	waitIdle(t, srv)
+	faultinject.Reset()
+	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 1 {
+		t.Fatalf("campaigns_cancelled_total = %v, want the disconnected campaign", got)
+	}
+}
+
+// TestChaosDegradedStoreReportsAndServes: a store that exhausted its
+// write retries turns /healthz "degraded" and flips the metrics gauge,
+// while campaigns keep running read-through; recovery re-arms both.
+func TestChaosDegradedStoreReportsAndServes(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts, st := newTestServer(t)
+	submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)})
+	if err := faultinject.Enable(faultinject.StoreWriteError, "error"); err != nil {
+		t.Fatal(err)
+	}
+	st.Commit("chaos-degrade", sweep.CachedPoint{Key: "chaos", Shots: 8}) // exhaust retries, degrade
+	if !st.Stats().Degraded {
+		t.Fatal("store did not degrade")
+	}
+	var health struct {
+		Status        string `json:"status"`
+		StoreDegraded bool   `json:"store_degraded"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "degraded" || !health.StoreDegraded {
+		t.Fatalf("healthz = %+v, want degraded", health)
+	}
+	if got := metricValue(t, ts, "store_degraded"); got != 1 {
+		t.Fatalf("store_degraded = %v", got)
+	}
+	// Read-through: the committed campaign still replays from cache.
+	points, _ := submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)})
+	for _, p := range points {
+		if !p.Cached {
+			t.Fatalf("degraded store stopped serving reads: %s recomputed", p.Key)
+		}
+	}
+	faultinject.Reset()
+	if !st.Probe() {
+		t.Fatal("probe failed after the fault cleared")
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz after recovery = %+v", health)
+	}
+	if got := metricValue(t, ts, "store_recoveries_total"); got != 1 {
+		t.Fatalf("store_recoveries_total = %v", got)
+	}
+}
+
+// waitIdle blocks until no campaign is active.
+func waitIdle(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.campaignsActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

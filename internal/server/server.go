@@ -14,6 +14,7 @@
 // Endpoints:
 //
 //	POST   /v1/campaigns                submit a campaign, stream NDJSON points + table
+//	DELETE /v1/campaigns/{id}           cancel a running campaign at its next batch boundary
 //	GET    /v1/campaigns/{id}/signals   stream a campaign's telemetry signals (NDJSON)
 //	GET    /v1/experiments              list runnable experiments
 //	GET    /v1/cache                    store statistics
@@ -26,20 +27,24 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"slices"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
+	"radqec/internal/faultinject"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
 	"radqec/internal/telemetry"
@@ -69,12 +74,19 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	campaignsTotal  atomic.Int64
-	campaignsActive atomic.Int64
-	campaignErrors  atomic.Int64
-	pointsComputed  atomic.Int64
-	pointsCached    atomic.Int64
-	shotsComputed   atomic.Int64
+	// cancels maps an active campaign's telemetry ID to its context
+	// cancel, so DELETE /v1/campaigns/{id} can stop it mid-stream.
+	cancelMu sync.Mutex
+	cancels  map[int64]context.CancelCauseFunc
+
+	campaignsTotal     atomic.Int64
+	campaignsActive    atomic.Int64
+	campaignErrors     atomic.Int64
+	campaignsCancelled atomic.Int64
+	workerPanics       atomic.Int64
+	pointsComputed     atomic.Int64
+	pointsCached       atomic.Int64
+	shotsComputed      atomic.Int64
 }
 
 // New builds the server and starts its shared worker pool.
@@ -91,8 +103,10 @@ func New(cfg Config) *Server {
 		tele:    telemetry.NewRegistry(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		cancels: make(map[int64]context.CancelCauseFunc),
 	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/signals", s.handleSignals)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
@@ -247,10 +261,17 @@ func (r CampaignRequest) config(s *Server) exp.Config {
 
 // errorRecord is the NDJSON record reporting a campaign failure after
 // streaming has begun (the status line is already committed by then).
+// Cancelled distinguishes a deliberate stop — partial checkpoints are
+// flushed and resubmission resumes — from an engine fault.
 type errorRecord struct {
-	Type  string `json:"type"`
-	Error string `json:"error"`
+	Type      string `json:"type"`
+	Error     string `json:"error"`
+	Cancelled bool   `json:"cancelled,omitempty"`
 }
+
+// errCancelled is the cancel cause installed by DELETE
+// /v1/campaigns/{id}; sweep.Run returns it as the campaign error.
+var errCancelled = errors.New("campaign cancelled by DELETE /v1/campaigns/{id}")
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	defer io.Copy(io.Discard, r.Body)
@@ -270,6 +291,29 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	tc := s.tele.New(req.Experiment)
 	defer s.tele.Finish(tc)
 	cfg.Telemetry = tc
+
+	// Campaign lifecycle: by default the campaign detaches from the
+	// connection (a vanished client must not waste the shots already
+	// spent — points keep landing in the store). ?detach=0 opts into
+	// client-disconnect cancellation for interactive use. Either way
+	// DELETE /v1/campaigns/{id} cancels, and cancellation is observed
+	// at batch boundaries with checkpoints flushed, so a resubmission
+	// resumes instead of restarting.
+	base := context.Background()
+	if r.URL.Query().Get("detach") == "0" {
+		base = r.Context()
+	}
+	ctx, cancel := context.WithCancelCause(base)
+	defer cancel(nil)
+	cfg.Context = ctx
+	s.cancelMu.Lock()
+	s.cancels[tc.ID()] = cancel
+	s.cancelMu.Unlock()
+	defer func() {
+		s.cancelMu.Lock()
+		delete(s.cancels, tc.ID())
+		s.cancelMu.Unlock()
+	}()
 
 	s.campaignsTotal.Add(1)
 	s.campaignsActive.Add(1)
@@ -295,6 +339,13 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		if clientGone {
 			return
 		}
+		// Failpoints for chaos tests: stall one stream write, or drop
+		// the client as a write failure would.
+		faultinject.Eval(faultinject.StreamStall)
+		if faultinject.Eval(faultinject.StreamDrop) != nil {
+			clientGone = true
+			return
+		}
 		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
 		if enc.Encode(v) != nil {
 			clientGone = true
@@ -316,11 +367,52 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	tab, err := e.Run(cfg)
 	if err != nil {
-		s.campaignErrors.Add(1)
-		emit(errorRecord{Type: "error", Error: err.Error()})
+		cancelled := errors.Is(err, context.Canceled) || errors.Is(err, errCancelled)
+		var pe *sweep.PointError
+		switch {
+		case errors.As(err, &pe):
+			// A worker panic: the recover boundary converted it into a
+			// per-point error and this campaign alone failed. Log the
+			// captured stack for the operator; siblings and the daemon
+			// keep running.
+			s.workerPanics.Add(1)
+			s.campaignErrors.Add(1)
+			log.Printf("campaign %d: %v\n%s", tc.ID(), pe, pe.Stack)
+		case cancelled:
+			s.campaignsCancelled.Add(1)
+		default:
+			s.campaignErrors.Add(1)
+		}
+		// Cancellation flushed partial checkpoints at batch boundaries;
+		// make them durable now so an immediate resubmission resumes.
+		if s.st != nil {
+			s.st.Sync()
+		}
+		emit(errorRecord{Type: "error", Error: err.Error(), Cancelled: cancelled})
 		return
 	}
 	emit(exp.NewTableRecord(e.Name, tab, time.Since(start)))
+}
+
+// handleCampaignCancel cancels a running campaign. The campaign
+// observes the cancel at its next batch boundary, flushes partial
+// checkpoints, and ends its stream with a cancelled error record;
+// resubmitting the same request resumes from those checkpoints.
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
+		return
+	}
+	s.cancelMu.Lock()
+	cancel, ok := s.cancels[id]
+	s.cancelMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("campaign %d is not running", id))
+		return
+	}
+	cancel(errCancelled)
+	writeJSON(w, map[string]any{"status": "cancelling", "id": id})
 }
 
 // streamWriteTimeout bounds how long one NDJSON record write may block
@@ -486,13 +578,20 @@ func (s *Server) handleCacheCompact(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":           "ok",
 		"uptime_seconds":   time.Since(s.start).Seconds(),
 		"workers":          s.workers,
 		"store":            s.st != nil,
 		"campaigns_active": s.campaignsActive.Load(),
-	})
+	}
+	if s.st != nil && s.st.Stats().Degraded {
+		// The store lost its writes but reads still serve: the daemon
+		// stays useful, so this is "degraded", not down.
+		body["status"] = "degraded"
+		body["store_degraded"] = true
+	}
+	writeJSON(w, body)
 }
 
 // handleMetrics serves Prometheus text exposition format 0.0.4: every
@@ -508,6 +607,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	write("campaigns_total", "counter", "Campaigns accepted since start.", s.campaignsTotal.Load())
 	write("campaigns_active", "gauge", "Campaigns currently running.", s.campaignsActive.Load())
 	write("campaign_errors_total", "counter", "Campaigns that ended in an error.", s.campaignErrors.Load())
+	write("campaigns_cancelled_total", "counter", "Campaigns cancelled by DELETE or client disconnect.", s.campaignsCancelled.Load())
+	write("worker_panics_total", "counter", "Worker panics converted into per-campaign errors.", s.workerPanics.Load())
 	write("points_computed_total", "counter", "Sweep points computed by engines (cache misses).", s.pointsComputed.Load())
 	write("points_cached_total", "counter", "Sweep points served from the result store.", s.pointsCached.Load())
 	write("shots_computed_total", "counter", "Monte-Carlo shots executed by engines.", s.shotsComputed.Load())
@@ -519,6 +620,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		write("store_hits_total", "counter", "Result-store lookups that hit.", st.Hits)
 		write("store_misses_total", "counter", "Result-store lookups that missed.", st.Misses)
 		write("store_resident", "gauge", "Entries resident in the result store index.", st.Resident)
+		degraded := 0
+		if st.Degraded {
+			degraded = 1
+		}
+		write("store_degraded", "gauge", "1 while the store is in read-through/no-write degraded mode.", degraded)
+		write("store_quarantined_records", "gauge", "Corrupt records quarantined at replay or reload.", st.Quarantined)
+		write("store_write_retries_total", "counter", "Segment append attempts retried after a transient fault.", st.WriteRetries)
+		write("store_write_errors_total", "counter", "Segment appends that exhausted their retry budget.", st.WriteErrors)
+		write("store_recoveries_total", "counter", "Degraded-to-healthy store transitions.", st.Recoveries)
 	}
 	// Per-campaign controller gauges, one labelled line per active
 	// campaign under a single HELP/TYPE block per series.

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"radqec/internal/faultinject"
 	"radqec/internal/sweep"
 )
 
@@ -40,13 +44,86 @@ type record struct {
 	Point *sweep.CachedPoint `json:"point,omitempty"`
 }
 
+// envelope frames one segment line: the record's raw JSON plus the
+// CRC32C of exactly those bytes, so replay can tell a bit-rotted
+// record from a valid one without trusting JSON well-formedness (a
+// flipped digit keeps a line parseable while silently changing its
+// counts). Legacy segments whose lines are bare records still decode —
+// decodeLine falls back when no "rec" field is present.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord frames one record as a checksummed segment line.
+func encodeRecord(rec record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.Checksum(body, castagnoli), Rec: body})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// decodeLine validates one segment line: CRC-framed lines are checked
+// against their checksum, legacy (pre-CRC) lines decode directly with
+// a structural kind check standing in for the missing checksum.
+func decodeLine(line []byte) (record, error) {
+	var rec record
+	var env envelope
+	if err := json.Unmarshal(line, &env); err == nil && env.Rec != nil {
+		if crc32.Checksum(env.Rec, castagnoli) != env.CRC {
+			return rec, fmt.Errorf("crc mismatch")
+		}
+		if err := json.Unmarshal(env.Rec, &rec); err != nil {
+			return rec, err
+		}
+		return rec, nil
+	}
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, err
+	}
+	switch rec.Kind {
+	case "commit", "ckpt", "del":
+		return rec, nil
+	}
+	return rec, fmt.Errorf("unknown record kind %q", rec.Kind)
+}
+
 // Options tunes a store.
 type Options struct {
 	// MaxCached bounds the decoded commit records held resident
 	// (<= 0 picks DefaultMaxCached). Checkpoints are always resident:
 	// they are small, transient, and needed for resume decisions.
 	MaxCached int
+	// WriteRetries bounds how many times a failed segment append is
+	// retried (with exponential backoff and jitter) before the store
+	// degrades to read-through/no-write mode. 0 picks
+	// DefaultWriteRetries; negative disables retries.
+	WriteRetries int
+	// RetryBackoff is the first retry's backoff; each further attempt
+	// doubles it, with up to 50% random jitter. 0 picks
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// ProbeInterval is how often a degraded store re-probes the
+	// segment so writes re-arm once the fault clears. 0 picks
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
+
+// Fault-tolerance defaults for Options.
+const (
+	DefaultWriteRetries  = 3
+	DefaultRetryBackoff  = 2 * time.Millisecond
+	DefaultProbeInterval = 5 * time.Second
+)
 
 // Entry describes one committed point in the index.
 type Entry struct {
@@ -64,6 +141,18 @@ type Stats struct {
 	Hits         int64 `json:"hits"`
 	Misses       int64 `json:"misses"`
 	Resident     int   `json:"resident"`
+	// Degraded reports read-through/no-write mode: persistent write
+	// failure disarmed appends until a background probe re-arms them.
+	Degraded bool `json:"degraded,omitempty"`
+	// Quarantined counts corrupt records skipped at replay or reload —
+	// each one recomputes instead of poisoning the store.
+	Quarantined int `json:"quarantined,omitempty"`
+	// WriteRetries / WriteErrors count transient append faults and the
+	// attempts they consumed; Recoveries counts degraded→healthy
+	// transitions.
+	WriteRetries int64 `json:"write_retries,omitempty"`
+	WriteErrors  int64 `json:"write_errors,omitempty"`
+	Recoveries   int64 `json:"recoveries,omitempty"`
 }
 
 // Store is a content-addressed, crash-safe result store over one
@@ -78,7 +167,14 @@ type Store struct {
 	lock   *os.File // holds the directory's single-writer flock
 	size   int64    // current segment size == next append offset
 	closed bool
-	err    error // first write error, surfaced by Sync/Close
+	fatal  error // unrecoverable fault (closed handle, bad state)
+
+	// degraded write state: appends drop while degradedErr is set; a
+	// background probe re-arms them once the segment accepts writes
+	// again. Reads keep working throughout.
+	degradedErr error
+	probing     bool
+	stopc       chan struct{}
 
 	// commits indexes the latest commit record per hash by segment
 	// offset, with enough metadata to list entries without disk reads.
@@ -89,7 +185,10 @@ type Store struct {
 	// recently used at the tail.
 	lru *pointLRU
 
-	hits, misses int64
+	hits, misses             int64
+	quarantined              int
+	writeRetries, writeFails int64
+	recoveries               int64
 }
 
 type commitEntry struct {
@@ -105,6 +204,15 @@ type commitEntry struct {
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxCached <= 0 {
 		opts.MaxCached = DefaultMaxCached
+	}
+	if opts.WriteRetries == 0 {
+		opts.WriteRetries = DefaultWriteRetries
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -132,6 +240,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts:    opts,
 		f:       f,
 		lock:    lock,
+		stopc:   make(chan struct{}),
 		commits: make(map[string]*commitEntry),
 		ckpts:   make(map[string]sweep.CachedPoint),
 		lru:     newPointLRU(opts.MaxCached),
@@ -144,14 +253,21 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// replay scans the segment, building the index and truncating any torn
-// tail at the last whole-record boundary.
+// replay scans the segment, building the index. Corruption is
+// localised, not fatal: an invalid line with valid records after it is
+// mid-segment damage (bit rot, partial overwrite) — the record is
+// quarantined (skipped and counted) and everything after it still
+// serves. An invalid run at the very end is the classic torn tail of a
+// crash mid-append and is truncated away so the segment stays
+// appendable.
 func (s *Store) replay() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	br := bufio.NewReader(s.f)
-	var off int64
+	var off int64   // offset of the line being read
+	var valid int64 // end of the last valid record
+	pending := 0    // invalid lines since the last valid record
 	for {
 		line, err := br.ReadBytes('\n')
 		if err == io.EOF {
@@ -161,18 +277,23 @@ func (s *Store) replay() error {
 		if err != nil {
 			return fmt.Errorf("store: replay: %w", err)
 		}
-		var rec record
-		if json.Unmarshal(line, &rec) != nil {
-			// A torn write can only damage the tail; treat the first
-			// undecodable line as the end of the valid prefix.
-			break
+		rec, derr := decodeLine(line)
+		if derr != nil {
+			pending++
+			off += int64(len(line))
+			continue
 		}
+		// A valid record past invalid lines proves the damage was
+		// mid-segment, not a torn tail: quarantine what we skipped.
+		s.quarantined += pending
+		pending = 0
 		s.apply(rec, off)
 		off += int64(len(line))
+		valid = off
 	}
-	s.size = off
-	if fi, err := s.f.Stat(); err == nil && fi.Size() > off {
-		if err := s.f.Truncate(off); err != nil {
+	s.size = valid
+	if fi, err := s.f.Stat(); err == nil && fi.Size() > valid {
+		if err := s.f.Truncate(valid); err != nil {
 			return fmt.Errorf("store: truncate torn tail: %w", err)
 		}
 	}
@@ -203,37 +324,156 @@ func (s *Store) apply(rec record, off int64) {
 	}
 }
 
-// append writes one record line and returns its offset. The first
-// write failure sticks in s.err; later appends become no-ops so a full
-// disk degrades the store to a pass-through cache instead of a panic
-// in the sweep hot path.
+// append writes one record line and returns its offset. Transient
+// write failures retry with exponential backoff and jitter; exhausting
+// the retry budget degrades the store to read-through/no-write mode (a
+// background probe re-arms writes) instead of failing the sweep hot
+// path. Only structural faults — closed store, unmarshalable record —
+// are fatal.
 func (s *Store) append(rec record) (int64, bool) {
 	if s.closed {
-		s.setErr(ErrClosed)
+		s.setFatal(ErrClosed)
 		return 0, false
 	}
-	if s.err != nil {
+	if s.fatal != nil || s.degradedErr != nil {
 		return 0, false
 	}
-	line, err := json.Marshal(rec)
+	line, err := encodeRecord(rec)
 	if err != nil {
-		s.setErr(err)
+		s.setFatal(err)
 		return 0, false
 	}
-	line = append(line, '\n')
 	off := s.size
-	if _, err := s.f.Write(line); err != nil {
-		s.setErr(err)
+	if !s.writeRetrying(line) {
 		return 0, false
 	}
 	s.size += int64(len(line))
 	return off, true
 }
 
-func (s *Store) setErr(err error) {
-	if s.err == nil {
-		s.err = err
+// writeRetrying attempts one line write with bounded
+// exponential-backoff retries. Called with s.mu held; the backoff
+// sleeps hold the lock deliberately — a store whose disk is failing
+// must not let other writers interleave half-states, and the total
+// worst-case hold (sum of DefaultRetryBackoff doublings) is ~20ms.
+func (s *Store) writeRetrying(line []byte) bool {
+	attempts := 1 + s.opts.WriteRetries
+	if attempts < 1 {
+		attempts = 1
 	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.writeRetries++
+			// Exponential backoff with up to 50% jitter, and a
+			// truncate back to the last durable offset so a torn
+			// partial write from the failed attempt can't corrupt the
+			// segment mid-file.
+			backoff := s.opts.RetryBackoff << (attempt - 1)
+			backoff += time.Duration(rand.Int64N(int64(backoff)/2 + 1))
+			time.Sleep(backoff)
+			if err := s.f.Truncate(s.size); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := s.injectedWriteFault(); err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := s.f.Write(line); err != nil {
+			lastErr = err
+			continue
+		}
+		return true
+	}
+	s.writeFails++
+	s.degrade(fmt.Errorf("store: append failed after %d attempts: %w", attempts, lastErr))
+	return false
+}
+
+// injectedWriteFault evaluates the store write failpoints: an injected
+// error fails the attempt; an injected slow write sleeps in place.
+func (s *Store) injectedWriteFault() error {
+	if err := faultinject.Eval(faultinject.StoreWriteError); err != nil {
+		return err
+	}
+	return faultinject.Eval(faultinject.StoreWriteSlow)
+}
+
+// setFatal records an unrecoverable fault. The store stops writing for
+// good; Err/Sync/Close surface the error.
+func (s *Store) setFatal(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+}
+
+// degrade flips the store into read-through/no-write mode and starts
+// the background probe that re-arms writes once the segment accepts
+// them again. Called with s.mu held.
+func (s *Store) degrade(err error) {
+	if s.degradedErr != nil {
+		return
+	}
+	s.degradedErr = err
+	if !s.probing && !s.closed {
+		s.probing = true
+		go s.probeLoop()
+	}
+}
+
+// probeLoop periodically re-probes a degraded segment until writes
+// recover or the store closes.
+func (s *Store) probeLoop() {
+	t := time.NewTicker(s.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			s.mu.Lock()
+			s.probing = false
+			s.mu.Unlock()
+			return
+		case <-t.C:
+			if s.Probe() {
+				return
+			}
+		}
+	}
+}
+
+// Probe tests whether a degraded segment accepts writes again and, if
+// so, re-arms appends. Returns true when the store is healthy (or
+// permanently done probing). Exposed so tests and operators can force
+// a recovery check without waiting out ProbeInterval.
+func (s *Store) Probe() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.fatal != nil {
+		s.probing = false
+		return true
+	}
+	if s.degradedErr == nil {
+		s.probing = false
+		return true
+	}
+	if err := s.injectedWriteFault(); err != nil {
+		return false
+	}
+	// Truncate to the last durable offset (clearing any torn bytes a
+	// failed attempt left) and sync; success means the device is
+	// writable again.
+	if err := s.f.Truncate(s.size); err != nil {
+		return false
+	}
+	if err := s.f.Sync(); err != nil {
+		return false
+	}
+	s.degradedErr = nil
+	s.probing = false
+	s.recoveries++
+	return true
 }
 
 // Lookup returns the committed result for a hash, reloading it from
@@ -252,9 +492,13 @@ func (s *Store) Lookup(hash string) (sweep.CachedPoint, bool) {
 	}
 	p, err := s.readPointAt(ce.off, hash)
 	if err != nil {
-		// The index said committed but the segment disagrees — surface
-		// as a miss so the point recomputes; record the fault.
-		s.setErr(err)
+		// The index said committed but the segment disagrees —
+		// quarantine the entry and surface a miss so the point
+		// recomputes, rather than poisoning the whole store over one
+		// rotten record.
+		delete(s.commits, hash)
+		s.lru.remove(hash)
+		s.quarantined++
 		s.misses++
 		return sweep.CachedPoint{}, false
 	}
@@ -271,8 +515,8 @@ func (s *Store) readPointAt(off int64, hash string) (sweep.CachedPoint, error) {
 	if err != nil && err != io.EOF {
 		return sweep.CachedPoint{}, fmt.Errorf("store: reload %s: %w", hash, err)
 	}
-	var rec record
-	if err := json.Unmarshal(line, &rec); err != nil {
+	rec, err := decodeLine(line)
+	if err != nil {
 		return sweep.CachedPoint{}, fmt.Errorf("store: reload %s: %w", hash, err)
 	}
 	if rec.Hash != hash || rec.Point == nil {
@@ -376,7 +620,13 @@ func (s *Store) Compact() error {
 			var err error
 			p, err = s.readPointAt(ce.off, h)
 			if err != nil {
-				return err
+				// Unreadable on disk: quarantine the entry instead of
+				// aborting the compaction — the rewrite simply drops it
+				// and the point recomputes on next lookup.
+				delete(s.commits, h)
+				s.lru.remove(h)
+				s.quarantined++
+				continue
 			}
 		}
 		pt := p
@@ -410,12 +660,11 @@ func (s *Store) rewriteLocked(recs []record) error {
 	offsets := make(map[string]int64, len(recs))
 	var off int64
 	for i := range recs {
-		line, err := json.Marshal(recs[i])
+		line, err := encodeRecord(recs[i])
 		if err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: compact: %w", err)
 		}
-		line = append(line, '\n')
 		if _, err := w.Write(line); err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: compact: %w", err)
@@ -443,10 +692,10 @@ func (s *Store) rewriteLocked(recs []record) error {
 	if err != nil {
 		// The rename already happened: the old handle points at an
 		// unlinked inode, so appending to it would silently lose every
-		// later record. Poison the store instead — appends drop and
-		// Err/Sync/Close surface the fault.
+		// later record. That is unrecoverable — fail fatally so appends
+		// drop and Err/Sync/Close surface the fault.
 		err = fmt.Errorf("store: compact: reopen after rename: %w", err)
-		s.setErr(err)
+		s.setFatal(err)
 		s.closed = true
 		s.f.Close()
 		return err
@@ -454,6 +703,9 @@ func (s *Store) rewriteLocked(recs []record) error {
 	s.f.Close()
 	s.f = f
 	s.size = off
+	// A whole fresh segment on a new inode: whatever degraded the old
+	// handle no longer applies.
+	s.degradedErr = nil
 	for h, ce := range s.commits {
 		ce.off = offsets[h]
 	}
@@ -483,29 +735,46 @@ func (s *Store) Stats() Stats {
 		Hits:         s.hits,
 		Misses:       s.misses,
 		Resident:     s.lru.len(),
+		Degraded:     s.degradedErr != nil,
+		Quarantined:  s.quarantined,
+		WriteRetries: s.writeRetries,
+		WriteErrors:  s.writeFails,
+		Recoveries:   s.recoveries,
 	}
 }
 
-// Err returns the first write error the store swallowed on the sweep
-// hot path, if any.
+// Err returns the store's current fault, if any: a fatal error first,
+// else the degraded-mode cause (wrapped, so callers can tell a store
+// that will never write again from one that is waiting out a transient
+// device fault).
 func (s *Store) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.err
+	return s.errLocked()
+}
+
+func (s *Store) errLocked() error {
+	if s.fatal != nil {
+		return s.fatal
+	}
+	if s.degradedErr != nil {
+		return fmt.Errorf("store: degraded (writes disabled, reads serve): %w", s.degradedErr)
+	}
+	return nil
 }
 
 // Sync flushes the segment to stable storage and surfaces any
-// swallowed write error.
+// swallowed write fault.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return s.err
+		return s.errLocked()
 	}
 	if err := s.f.Sync(); err != nil {
-		s.setErr(err)
+		s.degrade(err)
 	}
-	return s.err
+	return s.errLocked()
 }
 
 // Close syncs and closes the segment. Appends after Close are dropped
@@ -515,17 +784,18 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return s.err
+		return s.errLocked()
 	}
 	s.closed = true
+	close(s.stopc) // stops the degraded-mode probe loop, if running
 	if err := s.f.Sync(); err != nil {
-		s.setErr(err)
+		s.setFatal(err)
 	}
 	if err := s.f.Close(); err != nil {
-		s.setErr(err)
+		s.setFatal(err)
 	}
 	s.lock.Close() // releases the directory's single-writer flock
-	return s.err
+	return s.errLocked()
 }
 
 // pointLRU is a bounded hash → point map with least-recently-used

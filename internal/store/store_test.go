@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,6 +11,17 @@ import (
 
 	"radqec/internal/sweep"
 )
+
+// mustRun executes a sweep under a background context, failing the
+// test on a terminal error.
+func mustRun(t *testing.T, cfg sweep.Config, pts []sweep.Point) []sweep.Result {
+	t.Helper()
+	res, err := sweep.Run(context.Background(), cfg, pts)
+	if err != nil {
+		t.Fatalf("sweep.Run: %v", err)
+	}
+	return res
+}
 
 func openT(t *testing.T, dir string, opts Options) *Store {
 	t.Helper()
@@ -268,9 +280,19 @@ func TestStoreSegmentIsNDJSON(t *testing.T) {
 	if len(lines) != 1 {
 		t.Fatalf("segment lines = %d", len(lines))
 	}
-	var rec map[string]any
-	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+	var env struct {
+		CRC uint32          `json:"crc"`
+		Rec json.RawMessage `json:"rec"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &env); err != nil {
 		t.Fatalf("segment line is not JSON: %v", err)
+	}
+	if env.Rec == nil {
+		t.Fatalf("segment line carries no rec envelope: %s", lines[0])
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		t.Fatalf("envelope rec is not JSON: %v", err)
 	}
 	if rec["kind"] != "commit" || rec["hash"] != "h1" {
 		t.Fatalf("record = %v", rec)
@@ -320,7 +342,7 @@ func TestResumeMatchesUninterruptedRun(t *testing.T) {
 		ref := openT(t, refDir, Options{})
 		rcfg := cfg
 		rcfg.Cache = ref
-		full := sweep.Run(rcfg, []sweep.Point{point("h")})[0]
+		full := mustRun(t, rcfg, []sweep.Point{point("h")})[0]
 		ref.Close()
 		lines := segmentLines(t, refDir)
 		var ckpts []string
@@ -348,7 +370,7 @@ func TestResumeMatchesUninterruptedRun(t *testing.T) {
 			ccfg := cfg
 			ccfg.Cache = s
 			ccfg.Resume = true
-			got := sweep.Run(ccfg, []sweep.Point{point("h")})[0]
+			got := mustRun(t, ccfg, []sweep.Point{point("h")})[0]
 			if got.Cached {
 				t.Fatalf("cfg %d k=%d: resumed run reported Cached", ci, k)
 			}
@@ -357,7 +379,7 @@ func TestResumeMatchesUninterruptedRun(t *testing.T) {
 			// identical result without ever building the runner.
 			ccfg2 := cfg
 			ccfg2.Cache = s
-			replay := sweep.Run(ccfg2, []sweep.Point{{Key: "pt/h", Hash: "h", Prepare: func() sweep.BatchRunner {
+			replay := mustRun(t, ccfg2, []sweep.Point{{Key: "pt/h", Hash: "h", Prepare: func() sweep.BatchRunner {
 				t.Fatalf("cfg %d k=%d: replay invoked Prepare despite a committed result", ci, k)
 				return nil
 			}}})[0]

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -35,11 +36,11 @@ func TestControllerResultsByteIdentical(t *testing.T) {
 		{Shots: 1100, Align: 64},
 		{CI: 0.03, Batch: 128, Align: 64},
 	} {
-		baseline := Run(Config{Policy: pol, Mechanism: Mechanism{Workers: 1}}, ctrlPoints(18))
+		baseline := runT(t, Config{Policy: pol, Mechanism: Mechanism{Workers: 1}}, ctrlPoints(18))
 		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 			for _, ctrl := range []*control.Policy{nil, control.Default(), {Enabled: true, Dwell: 1, Hysteresis: 0.01, MaxChunk: 256}} {
 				cfg := Config{Policy: pol, Mechanism: Mechanism{Workers: workers, Control: ctrl}}
-				got := Run(cfg, ctrlPoints(18))
+				got := runT(t, cfg, ctrlPoints(18))
 				if !reflect.DeepEqual(got, baseline) {
 					t.Fatalf("policy %+v workers %d controller %+v diverged from baseline", pol, workers, ctrl)
 				}
@@ -63,7 +64,7 @@ func TestControllerDeterminismOnSharedScheduler(t *testing.T) {
 	}
 	baselines := make([][]Result, len(camps))
 	for i, c := range camps {
-		baselines[i] = Run(Config{Policy: c.pol, Mechanism: Mechanism{Workers: 1}}, ctrlPoints(c.n))
+		baselines[i] = runT(t, Config{Policy: c.pol, Mechanism: Mechanism{Workers: 1}}, ctrlPoints(c.n))
 	}
 	s := NewScheduler(4)
 	defer s.Close()
@@ -76,7 +77,7 @@ func TestControllerDeterminismOnSharedScheduler(t *testing.T) {
 			cfg := Config{Policy: c.pol, Mechanism: Mechanism{
 				Workers: 2, Scheduler: s, Control: control.Default(),
 			}}
-			got[i] = Run(cfg, ctrlPoints(c.n))
+			got[i] = runT(t, cfg, ctrlPoints(c.n))
 		}(i, c)
 	}
 	wg.Wait()
@@ -106,7 +107,7 @@ func TestTailSensitivePointsServedFirst(t *testing.T) {
 			order = append(order, r.Key)
 		},
 	}}
-	Run(cfg, pts)
+	runT(t, cfg, pts)
 	tailKeys := map[string]bool{}
 	for _, p := range pts {
 		if p.TailSensitive {
@@ -151,12 +152,12 @@ func TestControllerBorrowsIdleWorkers(t *testing.T) {
 	s := NewScheduler(4)
 	defer s.Close()
 	pts, peak := mk()
-	s.Run(Config{Policy: Policy{Shots: 256}, Mechanism: Mechanism{Workers: 1}}, pts)
+	s.Run(context.Background(), Config{Policy: Policy{Shots: 256}, Mechanism: Mechanism{Workers: 1}}, pts)
 	if got := peak.Load(); got != 1 {
 		t.Fatalf("static campaign ran %d points concurrently past its Workers=1 cap", got)
 	}
 	pts, peak = mk()
-	s.Run(Config{Policy: Policy{Shots: 256}, Mechanism: Mechanism{
+	s.Run(context.Background(), Config{Policy: Policy{Shots: 256}, Mechanism: Mechanism{
 		Workers: 1, Control: control.Default(),
 	}}, pts)
 	if got := peak.Load(); got < 2 {
@@ -196,7 +197,7 @@ func TestSingleFlightComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = Run(cfg, mk())
+			results[i] = runT(t, cfg, mk())
 		}(i)
 	}
 	wg.Wait()
@@ -234,7 +235,7 @@ func TestTelemetryObservesCampaign(t *testing.T) {
 		{Key: "a", Hash: "ha", Prepare: bernoulliPoint("a", 1, 0.1).Prepare},
 		{Key: "b", Hash: "hb", Prepare: bernoulliPoint("b", 2, 0.3).Prepare},
 	}
-	res := Run(cfg, pts)
+	res := runT(t, cfg, pts)
 	st := tel.Stats()
 	wantShots := int64(res[0].Shots + res[1].Shots)
 	if st.Shots != wantShots {
@@ -256,7 +257,7 @@ func TestTelemetryObservesCampaign(t *testing.T) {
 	// A warm rerun is pure cache traffic.
 	tel2 := telemetry.NewCampaign(2, "test")
 	cfg.Telemetry = tel2
-	Run(cfg, []Point{
+	runT(t, cfg, []Point{
 		{Key: "a", Hash: "ha", Prepare: func() BatchRunner { t.Fatal("prepared despite commit"); return nil }},
 	})
 	st2 := tel2.Stats()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"radqec/internal/control"
+	"radqec/internal/faultinject"
 	"radqec/internal/stats"
 	"radqec/internal/telemetry"
 )
@@ -55,6 +56,13 @@ type pointRun struct {
 	// claimed marks the single-flight claim this point holds.
 	prio    float64
 	claimed bool
+	// aborted marks a point retired by cancellation or a campaign
+	// failure: complete() skips its result and OnResult delivery.
+	aborted bool
+	// ckptShots is the shot count covered by the point's latest durable
+	// checkpoint, so an abort only writes a checkpoint when there is
+	// progress beyond it.
+	ckptShots int
 }
 
 // begin resolves the cache path and prepares the runner. It returns
@@ -86,6 +94,7 @@ func (pr *pointRun) begin() bool {
 		if pr.cfg.Resume {
 			if cp, ok := pr.cache.LookupPartial(pr.p.Hash); ok {
 				pr.res.loadCached(cp)
+				pr.ckptShots = pr.res.Shots
 			}
 		}
 	}
@@ -140,6 +149,11 @@ func (pr *pointRun) startBatch() bool {
 // batch counts, and the (start, n) ranges of a batch's chunks tile the
 // exact range the legacy single call covered.
 func (pr *pointRun) runChunk(chunk int, ctrl *control.Controller, ws *workerState) {
+	// The chaos harness's worker fault: a panic here exercises the
+	// scheduler's recover boundary exactly where an engine bug would.
+	if err := faultinject.Eval(faultinject.WorkerPanic); err != nil {
+		panic(err)
+	}
 	n := pr.batchN - pr.batchCounts.Shots
 	if chunk > 0 && chunk < n {
 		n = chunk
@@ -210,9 +224,36 @@ func (pr *pointRun) finishBatch() {
 	}
 	if !last && pr.cache != nil {
 		pr.cache.Checkpoint(pr.p.Hash, pr.res.cachedPoint())
+		pr.ckptShots = pr.res.Shots
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		tel.BatchDone()
+	}
+}
+
+// abort retires the point without finishing it: progress beyond the
+// last durable checkpoint is flushed so a resubmitted campaign resumes
+// from this exact batch boundary, and a cancel signal marks the event
+// for started points. Called only at policy-batch boundaries, so the
+// flushed checkpoint is always whole-batch state the resumed run
+// replays byte-identically.
+func (pr *pointRun) abort() {
+	pr.aborted = true
+	if !pr.started || pr.res.Cached {
+		return
+	}
+	if pr.cache != nil && pr.res.Shots > pr.ckptShots {
+		pr.cache.Checkpoint(pr.p.Hash, pr.res.cachedPoint())
+		pr.ckptShots = pr.res.Shots
+	}
+	if tel := pr.cfg.Telemetry; tel != nil {
+		tel.Record(telemetry.Signal{
+			TimeNS: time.Now().UnixNano(),
+			Key:    pr.p.Key,
+			Shots:  pr.res.Shots,
+			Event:  telemetry.EventCancel,
+			Detail: "campaign cancelled at batch boundary",
+		})
 	}
 }
 

@@ -1,10 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"radqec/internal/control"
+	"radqec/internal/telemetry"
 )
 
 // Scheduler owns a fixed pool of point workers and multiplexes any
@@ -53,6 +57,16 @@ type schedQueue struct {
 	cfg     Config
 	points  []Point
 	results []Result
+	// ctx is the campaign's lifecycle: derived (WithCancelCause) from
+	// the Run caller's context, cancelled by the caller, by a worker
+	// panic (via fail), or with nil once the campaign retires. Workers
+	// observe it at policy-batch boundaries only, so cancellation never
+	// tears an engine chunk.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// err is the campaign's first terminal failure (a *PointError from
+	// a recovered panic), written under the scheduler mutex.
+	err error
 	// runs holds each point's execution state machine; ctrl is the
 	// campaign's scoring controller (nil under the static policy).
 	runs []pointRun
@@ -118,16 +132,30 @@ func (s *Scheduler) Close() {
 // interleaved fairly. cfg.Workers caps how many of this campaign's
 // points execute at once within the pool; under the controller policy
 // the cap softens to a share hint and idle slots are borrowed.
-func (s *Scheduler) Run(cfg Config, points []Point) []Result {
+//
+// ctx carries the campaign's cancellation, observed at policy-batch
+// boundaries (see the package-level Run). A cancelled or panicked
+// campaign drains promptly — its pending points are handed out only to
+// be aborted — while sibling campaigns and the pool are untouched.
+func (s *Scheduler) Run(ctx context.Context, cfg Config, points []Point) ([]Result, error) {
 	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(points))
 	if len(points) == 0 {
-		return results
+		if ctx.Err() != nil {
+			return results, context.Cause(ctx)
+		}
+		return results, nil
 	}
+	qctx, qcancel := context.WithCancelCause(ctx)
 	q := &schedQueue{
 		cfg:        cfg,
 		points:     points,
 		results:    results,
+		ctx:        qctx,
+		cancel:     qcancel,
 		unfinished: len(points),
 		done:       make(chan struct{}),
 		ctrl:       control.New(cfg.Control, cfg.Align),
@@ -165,11 +193,31 @@ func (s *Scheduler) Run(cfg Config, points []Point) []Result {
 	s.queues = append([]*schedQueue{q}, s.queues...)
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	// Workers blocked in take() poll nothing: a cancellation arriving
+	// while the pool is idle (or this campaign is parked) must wake
+	// them so the abort drain can start immediately.
+	go func() {
+		select {
+		case <-qctx.Done():
+			s.cond.Broadcast()
+		case <-q.done:
+		}
+	}()
 	<-q.done
-	return results
+	s.mu.Lock()
+	err := q.err
+	s.mu.Unlock()
+	if err == nil && qctx.Err() != nil {
+		err = context.Cause(qctx)
+	}
+	qcancel(nil) // release the context chain; a set cause is sticky
+	return results, err
 }
 
 // worker advances points handed out by take until the pool closes.
+// Each turn runs inside the recover boundary of safeTurn: a panic in a
+// point's Prepare or BatchRunner fails that point's campaign, never
+// the worker or the pool.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	var ws workerState
@@ -178,7 +226,12 @@ func (s *Scheduler) worker() {
 		if q == nil {
 			return
 		}
-		if q.runTurn(i, &ws) {
+		done, err := q.safeTurn(i, &ws)
+		if err != nil {
+			s.fail(q, i, err)
+			continue
+		}
+		if done {
 			s.complete(q, i)
 		} else {
 			s.requeue(q, i)
@@ -186,13 +239,39 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// safeTurn is the per-handout panic-isolation boundary: it converts a
+// panic anywhere in the point's turn — Prepare, the engine chunk, the
+// decode path — into a *PointError carrying the recovered value and
+// the worker's stack, leaving the worker goroutine intact.
+func (q *schedQueue) safeTurn(i int, ws *workerState) (done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PointError{Key: q.points[i].Key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return q.runTurn(i, ws), nil
+}
+
+// aborted reports whether the campaign's lifecycle context has been
+// cancelled (by the caller, or by fail after a sibling point panicked).
+func (q *schedQueue) aborted() bool { return q.ctx.Err() != nil }
+
 // runTurn advances one point. The static policy runs the point to
 // completion in one turn — the legacy worker behaviour. The controller
 // policy runs exactly one policy batch, chunked at the controller's
 // current size, then yields the worker so the next handout can re-order
 // on fresh priorities. Returns true when the point finished.
+//
+// Cancellation is observed here and only here — at the top of a turn
+// and at policy-batch boundaries — so an abort never tears a batch:
+// whatever the abort flushes is a whole-batch checkpoint the resumed
+// campaign replays byte-identically.
 func (q *schedQueue) runTurn(i int, ws *workerState) bool {
 	pr := &q.runs[i]
+	if q.aborted() {
+		pr.abort()
+		return true
+	}
 	if !pr.started && pr.begin() {
 		pr.finalize(ws) // served from the cache: no batches to run
 		return true
@@ -203,6 +282,10 @@ func (q *schedQueue) runTurn(i int, ws *workerState) bool {
 				pr.runChunk(0, nil, ws)
 			}
 			pr.finishBatch()
+			if q.aborted() {
+				pr.abort()
+				return true
+			}
 		}
 		pr.finalize(ws)
 		return true
@@ -216,12 +299,40 @@ func (q *schedQueue) runTurn(i int, ws *workerState) bool {
 		pr.runChunk(chunk, q.ctrl, ws)
 	}
 	pr.finishBatch()
+	if q.aborted() {
+		pr.abort()
+		return true
+	}
 	chunkSize, dwell := q.ctrl.BatchDone()
 	if tel := q.cfg.Telemetry; tel != nil {
 		tel.SetControl(chunkSize, dwell)
 	}
 	pr.prio = pr.priority(ws)
 	return false
+}
+
+// fail records a point's terminal error as its campaign's, cancels the
+// campaign's remaining work (the drain aborts it point by point,
+// flushing checkpoints), and retires the failed point. Sibling
+// campaigns and the pool itself are untouched — the worker that
+// recovered the panic goes straight back to serving handouts.
+func (s *Scheduler) fail(q *schedQueue, i int, err error) {
+	if tel := q.cfg.Telemetry; tel != nil {
+		tel.Record(telemetry.Signal{
+			TimeNS: time.Now().UnixNano(),
+			Key:    q.points[i].Key,
+			Event:  telemetry.EventPanic,
+			Detail: err.Error(),
+		})
+	}
+	s.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	s.mu.Unlock()
+	q.cancel(err)
+	q.runs[i].aborted = true
+	s.complete(q, i)
 }
 
 // take claims the best runnable point, blocking while every campaign is
@@ -263,7 +374,10 @@ func (s *Scheduler) pick() (*schedQueue, int) {
 	)
 	for _, borrow := range [2]bool{false, true} {
 		for idx, q := range s.queues {
-			if q.running >= q.cfg.Workers && !(borrow && q.ctrl != nil) {
+			// A cancelled campaign's handouts are aborts — near-free
+			// turns that flush checkpoints — so its worker cap no
+			// longer applies: drain it as fast as workers free up.
+			if q.running >= q.cfg.Workers && !q.aborted() && !(borrow && q.ctrl != nil) {
 				continue
 			}
 			i, ok := q.claimable(s.flights)
@@ -293,7 +407,10 @@ func (s *Scheduler) pick() (*schedQueue, int) {
 				break
 			}
 		}
-		if h := best.flightKey(bestPoint); h != "" && !best.runs[bestPoint].claimed {
+		// An aborting point does no engine work, so claiming its hash
+		// would only park siblings behind a computation that will
+		// never commit.
+		if h := best.flightKey(bestPoint); h != "" && !best.runs[bestPoint].claimed && !best.aborted() {
 			s.flights[h] = struct{}{}
 			best.runs[bestPoint].claimed = true
 		}
@@ -336,6 +453,15 @@ func (q *schedQueue) claimable(flights map[string]struct{}) (int, bool) {
 	if q.ctrl == nil {
 		if q.next < len(q.points) {
 			return q.next, true
+		}
+		return 0, false
+	}
+	if q.aborted() {
+		// Draining a cancelled campaign: any pending point will do —
+		// its handout aborts immediately, so priorities and
+		// single-flight parking no longer apply.
+		if len(q.queue) > 0 {
+			return q.queue[0], true
 		}
 		return 0, false
 	}
@@ -402,13 +528,18 @@ func (s *Scheduler) requeue(q *schedQueue, i int) {
 
 // complete folds one finished point back into its campaign, releases
 // its single-flight claim, delivers OnResult, and retires the campaign
-// when its last point lands.
+// when its last point lands. Aborted points retire without a result or
+// an OnResult call — their campaign is erroring out, and whatever
+// progress they held is already checkpointed.
 func (s *Scheduler) complete(q *schedQueue, i int) {
-	q.results[i] = q.runs[i].res
-	if q.cfg.OnResult != nil {
-		q.resMu.Lock()
-		q.cfg.OnResult(q.results[i])
-		q.resMu.Unlock()
+	aborted := q.runs[i].aborted
+	if !aborted {
+		q.results[i] = q.runs[i].res
+		if q.cfg.OnResult != nil {
+			q.resMu.Lock()
+			q.cfg.OnResult(q.results[i])
+			q.resMu.Unlock()
+		}
 	}
 	s.mu.Lock()
 	q.running--
@@ -432,7 +563,9 @@ func (s *Scheduler) complete(q *schedQueue, i int) {
 	s.cond.Broadcast()
 	if tel := q.cfg.Telemetry; tel != nil {
 		tel.SetQueueDepth(depth)
-		tel.PointDone()
+		if !aborted {
+			tel.PointDone()
+		}
 	}
 	if finished {
 		close(q.done)

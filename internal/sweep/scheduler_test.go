@@ -17,12 +17,12 @@ func TestSchedulerMatchesPrivatePool(t *testing.T) {
 		bernoulliPoint("c", 13, 0.5),
 	}
 	cfg := Config{Policy: Policy{Shots: 640}, Mechanism: Mechanism{Workers: 3}}
-	want := Run(cfg, points)
+	want := runT(t, cfg, points)
 
 	sched := NewScheduler(4)
 	defer sched.Close()
 	cfg.Scheduler = sched
-	got := Run(cfg, points)
+	got := runT(t, cfg, points)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("shared-pool results diverged:\n%v\nvs\n%v", got, want)
 	}
@@ -58,8 +58,8 @@ func TestSchedulerFairRoundRobin(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); Run(cfg, mk("a", 3)) }()
-	go func() { defer wg.Done(); Run(cfg, mk("b", 3)) }()
+	go func() { defer wg.Done(); runT(t, cfg, mk("a", 3)) }()
+	go func() { defer wg.Done(); runT(t, cfg, mk("b", 3)) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		s.mu.Lock()
@@ -120,7 +120,7 @@ func TestSchedulerWorkersCapRespected(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		Run(Config{Policy: Policy{Shots: 1}, Mechanism: Mechanism{Workers: capLimit, Scheduler: s}}, points)
+		runT(t, Config{Policy: Policy{Shots: 1}, Mechanism: Mechanism{Workers: capLimit, Scheduler: s}}, points)
 		close(done)
 	}()
 	// Wait for the first capLimit points to start, give the scheduler a
@@ -141,13 +141,13 @@ func TestSchedulerWorkersCapRespected(t *testing.T) {
 // recomputed interval and tail statistics.
 func TestCacheSkipsPreparedPoints(t *testing.T) {
 	cache := newMapCache()
-	live := Run(Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
+	live := runT(t, Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
 		{Key: "a", Hash: "ha", Prepare: bernoulliPoint("a", 21, 0.1).Prepare},
 	})[0]
 	if live.Cached {
 		t.Fatal("first run reported Cached")
 	}
-	replay := Run(Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
+	replay := runT(t, Config{Policy: Policy{Shots: 320}, Mechanism: Mechanism{Cache: cache}}, []Point{
 		{Key: "a", Hash: "ha", Prepare: func() BatchRunner {
 			t.Fatal("Prepare called despite committed cache entry")
 			return nil
@@ -161,7 +161,7 @@ func TestCacheSkipsPreparedPoints(t *testing.T) {
 		t.Fatalf("replay diverged:\n%+v\nvs\n%+v", replay, live)
 	}
 	// Hashless points bypass the cache entirely.
-	r := Run(Config{Policy: Policy{Shots: 64}, Mechanism: Mechanism{Cache: cache}}, []Point{bernoulliPoint("nohash", 5, 0.5)})[0]
+	r := runT(t, Config{Policy: Policy{Shots: 64}, Mechanism: Mechanism{Cache: cache}}, []Point{bernoulliPoint("nohash", 5, 0.5)})[0]
 	if r.Cached || r.Shots != 64 {
 		t.Fatalf("hashless point touched the cache: %+v", r)
 	}

@@ -15,6 +15,8 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 
@@ -259,26 +261,53 @@ func WorstCaseShots(ci float64) int {
 	return n
 }
 
+// PointError is the terminal error of a campaign one of whose points
+// panicked: the recover boundary in the scheduler worker converts the
+// panic (the internal packages panic liberally on programmer error)
+// into this record — failing the one campaign while sibling campaigns
+// and the worker pool keep running. Stack is the panicking worker's
+// stack, captured at the recover site.
+type PointError struct {
+	// Key is the sweep point whose turn panicked.
+	Key string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PointError) Error() string {
+	return fmt.Sprintf("sweep: point %q panicked: %v", e.Key, e.Value)
+}
+
 // Run executes every point and returns results in input order. The
 // results are independent of cfg.Workers; only wall-clock time and
 // OnResult delivery order vary with it. With cfg.Scheduler set the
 // points run on that shared pool; otherwise a private pool is spun up
 // for the call, the classic single-campaign behaviour.
-func Run(cfg Config, points []Point) []Result {
+//
+// ctx bounds the campaign: cancellation is observed at policy-batch
+// boundaries, where every in-flight point flushes its progress to
+// cfg.Cache as a checkpoint before aborting, so a resubmitted campaign
+// resumes byte-identically via the (start, n) BatchRunner contract.
+// On cancellation Run returns the results completed so far plus
+// context.Cause(ctx); a panicking point returns a *PointError the same
+// way. A nil ctx means context.Background().
+func Run(ctx context.Context, cfg Config, points []Point) ([]Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Scheduler != nil {
-		return cfg.Scheduler.Run(cfg, points)
+		return cfg.Scheduler.Run(ctx, cfg, points)
 	}
 	workers := cfg.Workers
 	if workers > len(points) {
 		workers = len(points)
 	}
 	if workers == 0 {
-		return make([]Result, len(points))
+		return make([]Result, len(points)), nil
 	}
 	s := NewScheduler(workers)
 	defer s.Close()
-	return s.Run(cfg, points)
+	return s.Run(ctx, cfg, points)
 }
 
 // loadCached restores the persisted progress of a point.

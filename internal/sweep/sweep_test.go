@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -9,6 +10,19 @@ import (
 	"radqec/internal/rng"
 	"radqec/internal/stats"
 )
+
+// runT runs a campaign under a background context and reports any
+// terminal error as a test failure (t.Errorf, so goroutine callers are
+// safe). The pre-context call shape for every test that expects its
+// campaign to finish.
+func runT(t *testing.T, cfg Config, points []Point) []Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg, points)
+	if err != nil {
+		t.Errorf("Run: %v", err)
+	}
+	return res
+}
 
 // bernoulliPoint builds a synthetic point honouring the campaign
 // determinism contract: shot i of the point consumes split(seed, i).
@@ -39,7 +53,7 @@ func countShots(seed uint64, p float64, shots int) Counts {
 
 func TestFixedModeMatchesContiguousRun(t *testing.T) {
 	cfg := Config{Policy: Policy{Shots: 1000}}
-	res := Run(cfg, []Point{bernoulliPoint("a", 3, 0.3)})
+	res := runT(t, cfg, []Point{bernoulliPoint("a", 3, 0.3)})
 	if len(res) != 1 {
 		t.Fatalf("results = %d", len(res))
 	}
@@ -77,8 +91,8 @@ func TestRunWorkerDeterminism(t *testing.T) {
 		one.Workers = 1
 		eight := cfg
 		eight.Workers = 8
-		a := Run(one, mkPoints())
-		b := Run(eight, mkPoints())
+		a := runT(t, one, mkPoints())
+		b := runT(t, eight, mkPoints())
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("cfg %+v: workers=1 and workers=8 disagree", cfg)
 		}
@@ -88,7 +102,7 @@ func TestRunWorkerDeterminism(t *testing.T) {
 func TestAdaptiveStopsAtTarget(t *testing.T) {
 	const ci = 0.02
 	cfg := Config{Policy: Policy{CI: ci}}
-	res := Run(cfg, []Point{bernoulliPoint("easy", 9, 0.01)})[0]
+	res := runT(t, cfg, []Point{bernoulliPoint("easy", 9, 0.01)})[0]
 	if !res.Converged {
 		t.Fatalf("easy point did not converge: %+v", res.Counts)
 	}
@@ -107,7 +121,7 @@ func TestAdaptiveSavesShotsOverFixedGuarantee(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		pts = append(pts, bernoulliPoint(fmt.Sprintf("p%d", i), uint64(i), float64(i)/20))
 	}
-	results := Run(cfg, pts)
+	results := runT(t, cfg, pts)
 	s := Summarize(cfg, results)
 	if s.TotalShots >= s.FixedShots {
 		t.Fatalf("adaptive used %d shots, fixed guarantee costs %d", s.TotalShots, s.FixedShots)
@@ -124,7 +138,7 @@ func TestAdaptiveSavesShotsOverFixedGuarantee(t *testing.T) {
 
 func TestAdaptiveRespectsCap(t *testing.T) {
 	cfg := Config{Policy: Policy{CI: 0.001, MaxShots: 500, Batch: 128}}
-	res := Run(cfg, []Point{bernoulliPoint("hard", 5, 0.5)})[0]
+	res := runT(t, cfg, []Point{bernoulliPoint("hard", 5, 0.5)})[0]
 	if res.Shots != 500 {
 		t.Fatalf("shots = %d, want the 500 cap", res.Shots)
 	}
@@ -155,7 +169,7 @@ func TestWorstCaseShots(t *testing.T) {
 func TestTailStatistics(t *testing.T) {
 	// One point, fixed mode: tail stats must equal the stats-package
 	// view of the recorded batch rates.
-	res := Run(Config{Policy: Policy{Shots: 2000}}, []Point{bernoulliPoint("t", 77, 0.3)})[0]
+	res := runT(t, Config{Policy: Policy{Shots: 2000}}, []Point{bernoulliPoint("t", 77, 0.3)})[0]
 	br := res.BatchRates
 	want := Tail{
 		Q50:    stats.Quantile(br, 0.50),
@@ -180,7 +194,7 @@ func TestOnResultStreamsEveryPoint(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		pts = append(pts, bernoulliPoint(fmt.Sprintf("k%d", i), uint64(i), 0.2))
 	}
-	Run(cfg, pts)
+	runT(t, cfg, pts)
 	if len(keys) != len(pts) {
 		t.Fatalf("streamed %d results, want %d", len(keys), len(pts))
 	}
@@ -193,7 +207,7 @@ func TestOnResultStreamsEveryPoint(t *testing.T) {
 }
 
 func TestRunEmpty(t *testing.T) {
-	if res := Run(Config{}, nil); len(res) != 0 {
+	if res := runT(t, Config{}, nil); len(res) != 0 {
 		t.Fatalf("empty sweep produced %d results", len(res))
 	}
 }
@@ -208,7 +222,7 @@ func TestAlignRoundsBatchSizes(t *testing.T) {
 			return Counts{Shots: n}
 		}
 	}}
-	res := Run(Config{Policy: Policy{Shots: 1000, Align: 64}, Mechanism: Mechanism{Workers: 1}}, []Point{pt})[0]
+	res := runT(t, Config{Policy: Policy{Shots: 1000, Align: 64}, Mechanism: Mechanism{Workers: 1}}, []Point{pt})[0]
 	if res.Shots != 1000 {
 		t.Fatalf("shots = %d", res.Shots)
 	}
@@ -226,7 +240,7 @@ func TestAlignRoundsBatchSizes(t *testing.T) {
 	// Adaptive mode: same property, and the counts still match the
 	// contiguous stream (alignment only re-chunks the same shot range).
 	sizes = nil
-	adaptive := Run(Config{Policy: Policy{CI: 0.05, Align: 64}, Mechanism: Mechanism{Workers: 1}},
+	adaptive := runT(t, Config{Policy: Policy{CI: 0.05, Align: 64}, Mechanism: Mechanism{Workers: 1}},
 		[]Point{bernoulliPoint("b", 3, 0.2)})[0]
 	want := countShots(3, 0.2, adaptive.Shots)
 	if adaptive.Counts != want {
@@ -238,8 +252,8 @@ func TestAlignDoesNotChangeMergedCounts(t *testing.T) {
 	// The BatchRunner contract makes alignment invisible in the counts:
 	// the same point swept with Align 1 and Align 64 at fixed shots
 	// yields identical totals.
-	a := Run(Config{Policy: Policy{Shots: 900}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
-	b := Run(Config{Policy: Policy{Shots: 900, Align: 64}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	a := runT(t, Config{Policy: Policy{Shots: 900}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
+	b := runT(t, Config{Policy: Policy{Shots: 900, Align: 64}}, []Point{bernoulliPoint("x", 7, 0.3)})[0]
 	if a.Counts != b.Counts {
 		t.Fatalf("alignment changed counts: %+v vs %+v", a.Counts, b.Counts)
 	}

@@ -66,7 +66,20 @@ type Signal struct {
 	// per chunk but global to the process (concurrent campaigns bleed
 	// into each other's deltas).
 	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// Event marks lifecycle signals rather than engine chunks:
+	// EventPanic when the scheduler's recover boundary caught a panic
+	// in the point's turn, EventCancel when cancellation aborted the
+	// point between batches (its partial progress flushed as a
+	// checkpoint first). Detail carries the human-readable cause.
+	Event  string `json:"event,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
+
+// Lifecycle event kinds for Signal.Event.
+const (
+	EventPanic  = "panic"
+	EventCancel = "cancel"
+)
 
 // Route records the engine-resolution decision behind a campaign: the
 // requested engine name, what it resolved to, and the policy reason —
@@ -98,6 +111,8 @@ type Campaign struct {
 	cacheMisses atomic.Int64
 	pointsDone  atomic.Int64
 	allocBytes  atomic.Int64
+	panics      atomic.Int64
+	cancels     atomic.Int64
 
 	// Controller gauges, written by the scheduler/controller and read
 	// by /metrics and -stats.
@@ -126,13 +141,24 @@ func (c *Campaign) Experiment() string { return c.experiment }
 // in its ring slot. Lock-free: concurrent recorders claim distinct
 // slots via the atomic sequence counter.
 func (c *Campaign) Record(s Signal) {
-	c.shots.Add(int64(s.Shots))
-	c.errors.Add(int64(s.Errors))
-	c.chunks.Add(1)
-	c.wallNS.Add(s.WallNS)
-	c.allocBytes.Add(s.AllocBytes)
-	if s.CacheHit {
-		c.cacheHits.Add(1)
+	if s.Event == "" {
+		// Lifecycle events (panic/cancel) are markers, not engine
+		// chunks: they ride the ring for the signals stream but fold
+		// into their own counters, not the chunk/shot aggregates.
+		c.shots.Add(int64(s.Shots))
+		c.errors.Add(int64(s.Errors))
+		c.chunks.Add(1)
+		c.wallNS.Add(s.WallNS)
+		c.allocBytes.Add(s.AllocBytes)
+		if s.CacheHit {
+			c.cacheHits.Add(1)
+		}
+	}
+	switch s.Event {
+	case EventPanic:
+		c.panics.Add(1)
+	case EventCancel:
+		c.cancels.Add(1)
 	}
 	s.Seq = c.seq.Add(1) - 1
 	c.slots[s.Seq%RingSize].Store(&s)
@@ -211,6 +237,8 @@ type Stats struct {
 	CacheMisses int64   `json:"cache_misses"`
 	PointsDone  int64   `json:"points_done"`
 	AllocBytes  int64   `json:"alloc_bytes"`
+	Panics      int64   `json:"panics,omitempty"`
+	Cancels     int64   `json:"cancels,omitempty"`
 	ChunkSize   int64   `json:"chunk_size"`
 	QueueDepth  int64   `json:"queue_depth"`
 	DwellLeft   int64   `json:"dwell_left"`
@@ -242,6 +270,8 @@ func (c *Campaign) Stats() Stats {
 		CacheMisses: c.cacheMisses.Load(),
 		PointsDone:  c.pointsDone.Load(),
 		AllocBytes:  c.allocBytes.Load(),
+		Panics:      c.panics.Load(),
+		Cancels:     c.cancels.Load(),
 		ChunkSize:   c.chunkSize.Load(),
 		QueueDepth:  c.queueDepth.Load(),
 		DwellLeft:   c.dwellLeft.Load(),

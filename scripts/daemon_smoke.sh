@@ -11,7 +11,11 @@
 #   3. re-submit the campaign and assert a full cache hit: every point
 #      streams back flagged cached and the daemon's engine counter
 #      (radqecd_points_computed_total) does not advance
-#   4. SIGTERM the daemon and require a clean exit
+#   4. cancel a bigger campaign mid-stream with DELETE /v1/campaigns/{id},
+#      assert the stream ends in a cancelled error record, then resubmit
+#      and assert the resumed table is byte-identical to a CLI reference
+#      run at the same parameters (resume from checkpoints, not restart)
+#   5. SIGTERM the daemon and require a clean exit
 #
 # Builds into BIN_DIR (default: a temp dir). Needs python3 and curl.
 set -euo pipefail
@@ -116,6 +120,90 @@ if computed_warm != computed_cold:
              f"{computed_cold} -> {computed_warm}")
 print(f"daemon_smoke: {len(cli_pts)} points: daemon==CLI, "
       f"warm re-submission was a full cache hit ({computed_cold} computed)")
+EOF
+
+echo "== cancel a campaign mid-stream"
+CANCEL_SHOTS=20000
+CANCEL_SEED=11
+cancel_body=$(printf '{"experiment":"%s","shots":%d,"seed":%d}' "$EXPERIMENT" "$CANCEL_SHOTS" "$CANCEL_SEED")
+curl -sS -N -D "$workdir/cancel.headers" -X POST "http://$addr/v1/campaigns" \
+  -d "$cancel_body" >"$workdir/cancelled.ndjson" &
+curl_pid=$!
+cid=""
+for _ in $(seq 1 600); do
+  cid=$(awk -F': ' 'tolower($1)=="x-radqec-campaign-id"{print $2}' "$workdir/cancel.headers" 2>/dev/null | tr -d '\r' || true)
+  if [[ -n "$cid" ]]; then break; fi
+  sleep 0.05
+done
+if [[ -z "$cid" ]]; then
+  echo "daemon_smoke: no campaign id header on the cancel run" >&2
+  exit 1
+fi
+curl -fsS -X DELETE "http://$addr/v1/campaigns/$cid" >/dev/null
+wait "$curl_pid" || true
+
+python3 - "$workdir" <<'EOF'
+import json, sys
+workdir = sys.argv[1]
+recs = [json.loads(l) for l in open(f"{workdir}/cancelled.ndjson")]
+if not recs:
+    sys.exit("cancelled stream carried no records")
+last = recs[-1]
+if last.get("type") != "error" or not last.get("cancelled"):
+    sys.exit(f"cancelled stream ended with {last!r}, want a cancelled error record")
+if any(r.get("type") == "table" for r in recs):
+    sys.exit("cancelled campaign still produced a table")
+print(f"daemon_smoke: campaign cancelled after {len(recs)-1} streamed points")
+EOF
+
+cancelled_total=$(curl -fsS "http://$addr/metrics" | awk '/^radqecd_campaigns_cancelled_total /{print $2}')
+if [[ "$cancelled_total" != "1" ]]; then
+  echo "daemon_smoke: campaigns_cancelled_total = $cancelled_total, want 1" >&2
+  exit 1
+fi
+
+echo "== CLI reference for the cancelled campaign"
+"$bindir/radqec" -shots "$CANCEL_SHOTS" -seed "$CANCEL_SEED" -json "$EXPERIMENT" \
+  >"$workdir/cancel_cli.ndjson" 2>/dev/null
+
+echo "== resubmit: must resume from checkpoints to the identical table"
+curl -fsS -X POST "http://$addr/v1/campaigns" -d "$cancel_body" >"$workdir/resumed.ndjson"
+
+python3 - "$workdir" <<'EOF'
+import json, sys
+workdir = sys.argv[1]
+
+def load(name):
+    points, tables = {}, []
+    with open(f"{workdir}/{name}.ndjson") as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec["type"] == "point":
+                cached = rec.pop("cached", False)
+                points[rec["key"]] = (rec, cached)
+            elif rec["type"] == "table":
+                rec.pop("elapsed_ms")
+                tables.append(rec)
+            else:
+                sys.exit(f"unexpected record type {rec['type']!r} in {name}")
+    if len(tables) != 1:
+        sys.exit(f"{name}: {len(tables)} table records")
+    return points, tables[0]
+
+cli_pts, cli_tab = load("cancel_cli")
+res_pts, res_tab = load("resumed")
+if res_tab != cli_tab:
+    sys.exit("resumed table differs from the uninterrupted CLI reference")
+if set(res_pts) != set(cli_pts):
+    sys.exit("resumed run streamed different point keys than the CLI")
+for key, (rec, _) in cli_pts.items():
+    if res_pts[key][0] != rec:
+        sys.exit(f"resumed point {key} differs from the CLI reference")
+ncached = sum(1 for _, c in res_pts.values() if c)
+if ncached == 0:
+    sys.exit("resumed run served nothing from the store: cancellation flushed no progress")
+print(f"daemon_smoke: resumed run byte-identical to CLI reference "
+      f"({ncached}/{len(res_pts)} points served from the cancelled campaign's store)")
 EOF
 
 echo "== graceful shutdown"
