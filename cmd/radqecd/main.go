@@ -32,9 +32,15 @@
 //	                 connections
 //	-idle-timeout D  keep-alive connection idle limit (default 2m)
 //	-max-header-bytes N  request header size cap (default 1 MiB)
+//	-peers H1,H2,... static fabric ring, self included: campaigns shard
+//	                 across these nodes by content hash, with results
+//	                 byte-identical to a single-node run. Requires
+//	                 -store and -self
+//	-self HOST:PORT  this node's own address exactly as it appears in
+//	                 -peers
 //
-// Endpoints are documented in package server. SIGINT/SIGTERM drain
-// in-flight campaigns, flush the store and exit.
+// Endpoints are documented in package server (full API in docs/api.md).
+// SIGINT/SIGTERM drain in-flight campaigns, flush the store and exit.
 package main
 
 import (
@@ -45,10 +51,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
 	"radqec/internal/control"
+	"radqec/internal/fabric"
 	"radqec/internal/server"
 	"radqec/internal/store"
 )
@@ -64,6 +73,8 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit")
 	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "request header size cap in bytes")
+	peers := flag.String("peers", "", "comma-separated static fabric ring, self included (empty = single node)")
+	self := flag.String("self", "", "this node's own address as it appears in -peers")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "radqecd: unexpected arguments %v\n", flag.Args())
@@ -94,6 +105,25 @@ func main() {
 	if *maxHeaderBytes <= 0 {
 		usageError(fmt.Sprintf("-max-header-bytes %d out of range (want > 0)", *maxHeaderBytes))
 	}
+	var ring []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ring = append(ring, p)
+			}
+		}
+		if *self == "" {
+			usageError("-peers requires -self (this node's address as listed in -peers)")
+		}
+		if !slices.Contains(ring, *self) {
+			usageError(fmt.Sprintf("-self %q not in -peers %v", *self, ring))
+		}
+		if *storeDir == "" {
+			usageError("-peers requires -store (fetched peer results land in the store)")
+		}
+	} else if *self != "" {
+		usageError("-self without -peers")
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -113,7 +143,16 @@ func main() {
 	if *controller == "on" {
 		ctrl = &control.Policy{Enabled: true, Dwell: *dwell, Hysteresis: *hysteresis}
 	}
-	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl})
+	var coord *fabric.Coordinator
+	if len(ring) > 0 {
+		var err error
+		coord, err = fabric.New(fabric.Options{Self: *self, Peers: ring, Store: st})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "radqecd: fabric ring of %d nodes, self %s\n", len(coord.Peers()), *self)
+	}
+	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl, Fabric: coord})
 	// No blanket ReadTimeout/WriteTimeout: campaign streams legitimately
 	// run for minutes and per-write deadlines already guard them (see
 	// server.streamWriteTimeout). The header and idle limits below are

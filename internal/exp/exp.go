@@ -115,6 +115,13 @@ type Config struct {
 	// — the daemon sets it so concurrent client campaigns share one CPU
 	// budget fairly instead of oversubscribing.
 	Scheduler *sweep.Scheduler
+	// Remote, when set alongside Cache, shards every sweep's points
+	// across a fabric of daemon nodes by content hash: remotely-owned
+	// points park until the owner's committed result is read through
+	// into Cache (or the owner dies and the point computes locally).
+	// Results are byte-identical with or without it — remote points
+	// replay via the same CachedPoint path a warm local cache uses.
+	Remote sweep.RemoteResolver
 	// Control, when set and enabled, runs every sweep under the scoring
 	// controller: scored batch chunking, tail-aware point priorities,
 	// weighted campaign shares and in-flight single-flight. Results are
@@ -191,6 +198,7 @@ func (c Config) sweepConfig() sweep.Config {
 			Cache:     c.Cache,
 			Resume:    c.Resume,
 			Scheduler: c.Scheduler,
+			Remote:    c.Remote,
 			Control:   c.Control,
 			Telemetry: c.Telemetry,
 		},

@@ -1,0 +1,174 @@
+package server
+
+// v1 surface tests: the uniform error envelope and its stable codes,
+// the one-release legacy negotiation, and the consolidated cache
+// endpoints with their deprecated aliases.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// doRaw issues a bare HTTP request against the test server.
+func doRaw(t *testing.T, ts *httptest.Server, method, path, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// envelope decodes the v1 error envelope.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// TestErrorEnvelopeUniform: every /v1 endpoint's failure is the same
+// {"error":{"code","message"}} envelope with a stable code.
+func TestErrorEnvelopeUniform(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{http.MethodPost, "/v1/campaigns", `{"experiment":`, 400, "bad_request"},
+		{http.MethodPost, "/v1/campaigns", `{"experiment":"nope"}`, 400, "invalid_argument"},
+		{http.MethodDelete, "/v1/campaigns/abc", "", 400, "bad_request"},
+		{http.MethodDelete, "/v1/campaigns/999", "", 404, "not_found"},
+		{http.MethodGet, "/v1/campaigns/999/signals", "", 404, "not_found"},
+		{http.MethodGet, "/v1/points/unknown-hash", "", 404, "point_not_committed"},
+		{http.MethodPost, "/v1/points/h/claim", `{}`, 400, "invalid_argument"},
+		{http.MethodGet, "/v1/cache/entries/unknown-hash", "", 404, "not_found"},
+		{http.MethodDelete, "/v1/cache/entries/unknown-hash", "", 404, "not_found"},
+	} {
+		resp, body := doRaw(t, ts, tc.method, tc.path, tc.body, nil)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s: status = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+			t.Errorf("%s %s: body %q is not a v1 error envelope (%v)", tc.method, tc.path, body, err)
+			continue
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s %s: code = %q, want %q", tc.method, tc.path, env.Error.Code, tc.code)
+		}
+	}
+}
+
+// TestErrorEnvelopeStorelessDaemon: the cache and point APIs on a
+// daemon without a store answer with the no_store code.
+func TestErrorEnvelopeStorelessDaemon(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/cache", "/v1/cache/entries", "/v1/points/h"} {
+		resp, body := doRaw(t, ts, http.MethodGet, path, "", nil)
+		var env envelope
+		if resp.StatusCode != 404 || json.Unmarshal(body, &env) != nil || env.Error.Code != "no_store" {
+			t.Errorf("GET %s on storeless daemon: status=%d body=%q, want 404 no_store", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestErrorLegacyNegotiation: a client that explicitly Accepts the v0
+// media type gets the pre-envelope flat {"error":"msg"} shape, marked
+// Deprecation, for one release.
+func TestErrorLegacyNegotiation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := doRaw(t, ts, http.MethodDelete, "/v1/campaigns/999", "",
+		map[string]string{"Accept": "application/vnd.radqec.v0+json"})
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy error shape not marked Deprecation")
+	}
+	var flat map[string]string
+	if err := json.Unmarshal(body, &flat); err != nil || flat["error"] == "" {
+		t.Fatalf("body %q is not the legacy flat error shape", body)
+	}
+}
+
+// TestCacheEndpointConsolidation: the new entry-scoped cache routes
+// work, the renamed compact action works, and the deprecated aliases
+// still function but advertise their successors.
+func TestCacheEndpointConsolidation(t *testing.T) {
+	_, ts, st := newTestServer(t)
+	submit(t, ts, CampaignRequest{Experiment: "threshold", Shots: 64, Seed: seed(5)})
+	entries := st.Entries()
+	if len(entries) == 0 {
+		t.Fatal("no entries committed")
+	}
+	hash := entries[0].Hash
+
+	// GET one committed entry by hash.
+	resp, body := doRaw(t, ts, http.MethodGet, "/v1/cache/entries/"+hash, "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET entry: status = %d (%s)", resp.StatusCode, body)
+	}
+	var pr struct {
+		Hash  string `json:"hash"`
+		Point struct {
+			Key   string `json:"key"`
+			Shots int    `json:"shots"`
+		} `json:"point"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil || pr.Hash != hash || pr.Point.Shots == 0 {
+		t.Fatalf("GET entry body = %q (%v)", body, err)
+	}
+
+	// Canonical invalidate.
+	resp, _ = doRaw(t, ts, http.MethodDelete, "/v1/cache/entries/"+hash, "", nil)
+	if resp.StatusCode != 200 || resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("canonical DELETE: status=%d deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+
+	// Deprecated invalidate alias still works, flagged.
+	hash2 := st.Entries()[0].Hash
+	resp, _ = doRaw(t, ts, http.MethodDelete, "/v1/cache/"+hash2, "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("deprecated DELETE alias: status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" || resp.Header.Get("X-Radqec-Successor") == "" {
+		t.Fatal("deprecated DELETE alias not flagged")
+	}
+
+	// Canonical compact action.
+	resp, _ = doRaw(t, ts, http.MethodPost, "/v1/cache:compact", "", nil)
+	if resp.StatusCode != 200 || resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("POST /v1/cache:compact: status=%d deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+	// Deprecated compact alias still works, flagged.
+	resp, _ = doRaw(t, ts, http.MethodPost, "/v1/cache/compact", "", nil)
+	if resp.StatusCode != 200 || resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("deprecated compact alias: status=%d deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+}

@@ -5,69 +5,53 @@ package server
 // the daemon keeps serving, and degraded-store health reporting.
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
 	"time"
 
+	"radqec/internal/client"
 	"radqec/internal/exp"
 	"radqec/internal/faultinject"
 	"radqec/internal/sweep"
 )
 
-// streamRecord is one line of a campaign stream, tolerant of every
-// record type the chaos paths can produce.
-type streamRecord struct {
-	Type      string `json:"type"`
-	Key       string `json:"key"`
-	Cached    bool   `json:"cached"`
-	Error     string `json:"error"`
-	Cancelled bool   `json:"cancelled"`
-}
-
-// startCampaign posts a campaign and returns the live response (body
-// still streaming) plus the campaign ID from the response header.
-func startCampaign(t *testing.T, ts *httptest.Server, req CampaignRequest, query string) (*http.Response, string) {
+// startCampaign submits a campaign through the typed client and
+// returns the live stream (records still arriving); detach=false maps
+// to the old ?detach=0 query.
+func startCampaign(t *testing.T, ts *httptest.Server, req CampaignRequest, detach bool) *client.CampaignStream {
 	t.Helper()
-	body, _ := json.Marshal(req)
-	resp, err := http.Post(ts.URL+"/v1/campaigns"+query, "application/json", bytes.NewReader(body))
+	opts := client.SubmitOptions{}
+	if !detach {
+		opts.Detach = &detach
+	}
+	stream, err := client.New(ts.URL, ts.Client()).SubmitCampaign(context.Background(), req, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	id := resp.Header.Get("X-Radqec-Campaign-Id")
-	if id == "" {
-		resp.Body.Close()
-		t.Fatal("no campaign id header")
-	}
-	return resp, id
+	return stream
 }
 
-// drainStream scans a campaign stream to EOF and returns its records.
-func drainStream(t *testing.T, resp *http.Response) []streamRecord {
+// drainStream reads a campaign stream to EOF and returns its records.
+func drainStream(t *testing.T, stream *client.CampaignStream) []client.Record {
 	t.Helper()
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var recs []streamRecord
-	for sc.Scan() {
-		var r streamRecord
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			t.Fatalf("stream line not JSON: %q", sc.Bytes())
+	defer stream.Close()
+	var recs []client.Record
+	for {
+		rec, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			return recs
 		}
-		recs = append(recs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-	return recs
 }
 
 // TestChaosDeleteCancelsAndResumesByteIdentical: DELETE on a running
@@ -87,25 +71,16 @@ func TestChaosDeleteCancelsAndResumesByteIdentical(t *testing.T) {
 	if err := faultinject.Enable(faultinject.StoreWriteSlow, "sleep(15ms)"); err != nil {
 		t.Fatal(err)
 	}
-	resp, id := startCampaign(t, ts, req, "")
-	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil)
-	if err != nil {
-		t.Fatal(err)
+	stream := startCampaign(t, ts, req, true)
+	if err := client.New(ts.URL, ts.Client()).Cancel(context.Background(), stream.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
-	dresp, err := http.DefaultClient.Do(del)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusOK {
-		t.Fatalf("DELETE status = %d", dresp.StatusCode)
-	}
-	recs := drainStream(t, resp)
+	recs := drainStream(t, stream)
 	if len(recs) == 0 {
 		t.Fatal("cancelled stream carried no records")
 	}
 	last := recs[len(recs)-1]
-	if last.Type != "error" || !last.Cancelled {
+	if last.Err == nil || !last.Err.Cancelled {
 		t.Fatalf("cancelled stream ended with %+v, want a cancelled error record", last)
 	}
 	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 1 {
@@ -150,13 +125,13 @@ func TestChaosWorkerPanicFailsOneCampaignOnly(t *testing.T) {
 	if err := faultinject.Enable(faultinject.WorkerPanic, "panic*1"); err != nil {
 		t.Fatal(err)
 	}
-	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, "")
-	recs := drainStream(t, resp)
+	stream := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, true)
+	recs := drainStream(t, stream)
 	if len(recs) == 0 {
 		t.Fatal("panicked stream carried no records")
 	}
 	last := recs[len(recs)-1]
-	if last.Type != "error" || last.Cancelled {
+	if last.Err == nil || last.Err.Cancelled {
 		t.Fatalf("panicked campaign ended with %+v, want a non-cancelled error record", last)
 	}
 	if got := metricValue(t, ts, "worker_panics_total"); got != 1 {
@@ -181,8 +156,8 @@ func TestChaosWorkerPanicFailsOneCampaignOnly(t *testing.T) {
 // lands in the store for the next submission.
 func TestChaosClientDisconnectDetachedByDefault(t *testing.T) {
 	srv, ts, st := newTestServer(t)
-	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, "")
-	resp.Body.Close() // client walks away mid-stream
+	stream := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 192, Seed: seed(31)}, true)
+	stream.Close() // client walks away mid-stream
 	waitIdle(t, srv)
 	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 0 {
 		t.Fatalf("detached campaign cancelled on disconnect: %v", got)
@@ -201,8 +176,8 @@ func TestChaosClientDisconnectCancelsWithDetachOff(t *testing.T) {
 	if err := faultinject.Enable(faultinject.StoreWriteSlow, "sleep(15ms)"); err != nil {
 		t.Fatal(err)
 	}
-	resp, _ := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 384, Seed: seed(31)}, "?detach=0")
-	resp.Body.Close()
+	stream := startCampaign(t, ts, CampaignRequest{Experiment: "threshold", Shots: 384, Seed: seed(31)}, false)
+	stream.Close()
 	waitIdle(t, srv)
 	faultinject.Reset()
 	if got := metricValue(t, ts, "campaigns_cancelled_total"); got != 1 {

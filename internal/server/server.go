@@ -11,19 +11,35 @@
 // store is attached, every point is content-addressed into it and
 // re-submissions replay from disk without touching the engines.
 //
-// Endpoints:
+// When a fabric coordinator is attached the daemon becomes one node of
+// a static ring: client-submitted campaigns fan out to every peer, each
+// node computes only the points it owns, and the point API below moves
+// committed results between nodes. Tables stay byte-identical to a
+// single-node run.
+//
+// Endpoints (the full surface, with request/response shapes, is
+// documented in docs/api.md):
 //
 //	POST   /v1/campaigns                submit a campaign, stream NDJSON points + table
 //	DELETE /v1/campaigns/{id}           cancel a running campaign at its next batch boundary
 //	GET    /v1/campaigns/{id}/signals   stream a campaign's telemetry signals (NDJSON)
 //	GET    /v1/experiments              list runnable experiments
+//	GET    /v1/points/{hash}            committed result by content hash (?wait= long-polls)
+//	POST   /v1/points/{hash}/claim      claim the compute lease on a content hash
 //	GET    /v1/cache                    store statistics
 //	GET    /v1/cache/entries            list committed points (hash, key, shots)
+//	GET    /v1/cache/entries/{hash}     one committed point
 //	DELETE /v1/cache                    clear the store
-//	DELETE /v1/cache/{hash}             invalidate one point
-//	POST   /v1/cache/compact            rewrite the segment to live records
+//	DELETE /v1/cache/entries/{hash}     invalidate one point
+//	POST   /v1/cache:compact            rewrite the segment to live records
 //	GET    /healthz                     liveness + basic shape
 //	GET    /metrics                     Prometheus text exposition
+//
+// Deprecated aliases, kept one release: DELETE /v1/cache/{hash} and
+// POST /v1/cache/compact. Errors are a uniform JSON envelope
+// {"error":{"code","message"}} with stable machine-readable codes;
+// clients of the pre-envelope flat shape opt back into it for one
+// release with Accept: application/vnd.radqec.v0+json.
 package server
 
 import (
@@ -37,13 +53,16 @@ import (
 	"runtime"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"radqec/internal/client"
 	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
+	"radqec/internal/fabric"
 	"radqec/internal/faultinject"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
@@ -61,6 +80,9 @@ type Config struct {
 	// nil or disabled keeps the static legacy scheduling. A request's
 	// "controller" field overrides the default per campaign.
 	Control *control.Policy
+	// Fabric is this node's ring coordinator; nil runs single-node.
+	// Fabric mode requires a Store — fetched peer results land there.
+	Fabric *fabric.Coordinator
 }
 
 // Server is the campaign service. Create with New, mount Handler, and
@@ -70,9 +92,14 @@ type Server struct {
 	sched   *sweep.Scheduler
 	workers int
 	control *control.Policy
-	tele    *telemetry.Registry
-	mux     *http.ServeMux
-	start   time.Time
+	fabric  *fabric.Coordinator
+	// leases arbitrates compute claims on this node's owned hashes:
+	// the coordinator's table in fabric mode, a private one otherwise
+	// (so the claim endpoint behaves identically either way).
+	leases *fabric.LeaseTable
+	tele   *telemetry.Registry
+	mux    *http.ServeMux
+	start  time.Time
 
 	// cancels maps an active campaign's telemetry ID to its context
 	// cancel, so DELETE /v1/campaigns/{id} can stop it mid-stream.
@@ -100,23 +127,47 @@ func New(cfg Config) *Server {
 		sched:   sweep.NewScheduler(workers),
 		workers: workers,
 		control: cfg.Control,
+		fabric:  cfg.Fabric,
 		tele:    telemetry.NewRegistry(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		cancels: make(map[int64]context.CancelCauseFunc),
 	}
+	if s.fabric != nil {
+		s.leases = s.fabric.Leases()
+	} else {
+		s.leases = fabric.NewLeaseTable()
+	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/signals", s.handleSignals)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/points/{hash}", s.handlePointLookup)
+	s.mux.HandleFunc("POST /v1/points/{hash}/claim", s.handlePointClaim)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
 	s.mux.HandleFunc("GET /v1/cache/entries", s.handleCacheEntries)
+	s.mux.HandleFunc("GET /v1/cache/entries/{hash}", s.handleCacheEntry)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
-	s.mux.HandleFunc("DELETE /v1/cache/{hash}", s.handleCacheInvalidate)
-	s.mux.HandleFunc("POST /v1/cache/compact", s.handleCacheCompact)
+	s.mux.HandleFunc("DELETE /v1/cache/entries/{hash}", s.handleCacheInvalidate)
+	s.mux.HandleFunc("POST /v1/cache:compact", s.handleCacheCompact)
+	// Deprecated aliases, kept one release. Responses carry a
+	// Deprecation header naming the replacement.
+	s.mux.HandleFunc("DELETE /v1/cache/{hash}", deprecated("DELETE /v1/cache/entries/{hash}", s.handleCacheInvalidate))
+	s.mux.HandleFunc("POST /v1/cache/compact", deprecated("POST /v1/cache:compact", s.handleCacheCompact))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// deprecated wraps a handler for a surface kept one release past its
+// replacement: the response advertises the successor in a Deprecation
+// header (draft-ietf-httpapi-deprecation-header shape).
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("X-Radqec-Successor", successor)
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler tree.
@@ -125,43 +176,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close stops the shared worker pool after in-flight campaigns drain.
 func (s *Server) Close() { s.sched.Close() }
 
-// CampaignRequest is the JSON body of POST /v1/campaigns. Zero fields
-// take the CLI defaults, so {"experiment":"fig5"} is a complete
-// request.
-type CampaignRequest struct {
-	Experiment string `json:"experiment"`
-	Shots      int    `json:"shots,omitempty"`
-	// Seed is a pointer so an omitted field takes the CLI's default
-	// seed (1) while an explicit {"seed":0} still means seed zero.
-	Seed     *uint64 `json:"seed,omitempty"`
-	P        float64 `json:"p,omitempty"`
-	NS       int     `json:"ns,omitempty"`
-	Rounds   int     `json:"rounds,omitempty"`
-	Engine   string  `json:"engine,omitempty"`
-	Decoder  string  `json:"decoder,omitempty"`
-	CI       float64 `json:"ci,omitempty"`
-	MaxShots int     `json:"maxshots,omitempty"`
-	// Workers caps this campaign's concurrency inside the shared pool
-	// (0 = the whole pool). It never grows the pool.
-	Workers int `json:"workers,omitempty"`
-	// NoCache bypasses the store for this campaign: nothing is read
-	// from or written to it.
-	NoCache bool `json:"no_cache,omitempty"`
-	// Controller overrides the daemon's default controller policy for
-	// this campaign (omitted = the daemon's -controller setting).
-	// Results are byte-identical either way; only scheduling changes.
-	Controller *bool `json:"controller,omitempty"`
-	// Dwell and Hysteresis tune the controller's scorer when it is
-	// enabled: policy batches a chunk-size decision is pinned (0 = the
-	// daemon default), and the score margin a challenger must clear
-	// (0 = the daemon default).
-	Dwell      int     `json:"dwell,omitempty"`
-	Hysteresis float64 `json:"hysteresis,omitempty"`
-}
+// CampaignRequest is the JSON body of POST /v1/campaigns — the wire
+// type lives in package client so the daemon, the fabric coordinator
+// and Go callers share one definition. Zero fields take the CLI
+// defaults, so {"experiment":"fig5"} is a complete request.
+type CampaignRequest = client.CampaignRequest
 
-// validate mirrors the CLI's flag validation so a bad request is a 400
-// naming the constraint, never a panic in a sweep worker.
-func (r CampaignRequest) validate() error {
+// validateRequest mirrors the CLI's flag validation so a bad request is
+// a 400 naming the constraint, never a panic in a sweep worker.
+func validateRequest(r CampaignRequest) error {
 	if _, ok := exp.Find(r.Experiment); !ok {
 		return fmt.Errorf("unknown experiment %q", r.Experiment)
 	}
@@ -206,7 +229,7 @@ func (r CampaignRequest) validate() error {
 // controlPolicy resolves the campaign's controller policy: the request
 // override wins, then the daemon default; knobs left zero inherit the
 // daemon's, then the package defaults.
-func (r CampaignRequest) controlPolicy(s *Server) *control.Policy {
+func (s *Server) controlPolicy(r CampaignRequest) *control.Policy {
 	enabled := s.control != nil && s.control.Enabled
 	if r.Controller != nil {
 		enabled = *r.Controller
@@ -227,9 +250,9 @@ func (r CampaignRequest) controlPolicy(s *Server) *control.Policy {
 	return &pol
 }
 
-// config lowers the request onto an experiment config bound to the
-// server's shared scheduler and store.
-func (r CampaignRequest) config(s *Server) exp.Config {
+// campaignConfig lowers the request onto an experiment config bound to
+// the server's shared scheduler, store and (in fabric mode) ring.
+func (s *Server) campaignConfig(r CampaignRequest) exp.Config {
 	workers := s.workers
 	if r.Workers > 0 && r.Workers < workers {
 		workers = r.Workers
@@ -251,10 +274,16 @@ func (r CampaignRequest) config(s *Server) exp.Config {
 		Decoder:   r.Decoder,
 		Scheduler: s.sched,
 		Resume:    true,
-		Control:   r.controlPolicy(s),
+		Control:   s.controlPolicy(r),
 	}
 	if s.st != nil && !r.NoCache {
 		cfg.Cache = s.st
+		// Shard the campaign over the ring. NoCache campaigns are
+		// never sharded: without content addresses there is nothing to
+		// hash onto peers or fetch back from them.
+		if s.fabric != nil {
+			cfg.Remote = s.fabric
+		}
 	}
 	return cfg
 }
@@ -279,15 +308,20 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var req CampaignRequest
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	if err := req.validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if err := validateRequest(req); err != nil {
+		apiError(w, r, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	if req.Fabric && s.fabric == nil {
+		apiError(w, r, http.StatusBadRequest, codeInvalidArgument,
+			"fabric submission to a node with no -peers ring")
 		return
 	}
 	e, _ := exp.Find(req.Experiment)
-	cfg := req.config(s)
+	cfg := s.campaignConfig(req)
 	tc := s.tele.New(req.Experiment)
 	defer s.tele.Finish(tc)
 	cfg.Telemetry = tc
@@ -314,6 +348,15 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		delete(s.cancels, tc.ID())
 		s.cancelMu.Unlock()
 	}()
+
+	// A client-originated campaign on a fabric node fans out to every
+	// peer before local execution starts, so the whole ring computes
+	// its shards concurrently. Peer re-submissions carry Fabric and do
+	// not fan out again; peer campaigns are tied to this campaign's
+	// context, so they die with it.
+	if s.fabric != nil && !req.Fabric && cfg.Cache != nil {
+		s.fabric.FanOut(ctx, req)
+	}
 
 	s.campaignsTotal.Add(1)
 	s.campaignsActive.Add(1)
@@ -401,14 +444,14 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
 		return
 	}
 	s.cancelMu.Lock()
 	cancel, ok := s.cancels[id]
 	s.cancelMu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("campaign %d is not running", id))
+		apiError(w, r, http.StatusNotFound, codeNotFound, fmt.Sprintf("campaign %d is not running", id))
 		return
 	}
 	cancel(errCancelled)
@@ -450,19 +493,19 @@ type statsRecord struct {
 func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
 		return
 	}
 	c, ok := s.tele.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("campaign %d unknown (not active or rotated out of the recent-campaign tail)", id))
+		apiError(w, r, http.StatusNotFound, codeNotFound, fmt.Sprintf("campaign %d unknown (not active or rotated out of the recent-campaign tail)", id))
 		return
 	}
 	var seq uint64
 	if from := r.URL.Query().Get("from"); from != "" {
 		seq, err = strconv.ParseUint(from, 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad from sequence %q", from))
+			apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad from sequence %q", from))
 			return
 		}
 	}
@@ -524,57 +567,161 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 // errNoStore reports cache endpoints hit on a storeless server.
 var errNoStore = errors.New("no store attached (start the daemon with -store)")
 
-func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+// requireStore writes the storeless-daemon error and reports whether
+// the handler may proceed.
+func (s *Server) requireStore(w http.ResponseWriter, r *http.Request) bool {
 	if s.st == nil {
-		httpError(w, http.StatusNotFound, errNoStore.Error())
+		apiError(w, r, http.StatusNotFound, codeNoStore, errNoStore.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
 		return
 	}
 	writeJSON(w, s.st.Stats())
 }
 
-func (s *Server) handleCacheEntries(w http.ResponseWriter, _ *http.Request) {
-	if s.st == nil {
-		httpError(w, http.StatusNotFound, errNoStore.Error())
+func (s *Server) handleCacheEntries(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
 		return
 	}
 	writeJSON(w, s.st.Entries())
 }
 
-func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
-	if s.st == nil {
-		httpError(w, http.StatusNotFound, errNoStore.Error())
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
+		return
+	}
+	hash := r.PathValue("hash")
+	cp, ok := s.st.Lookup(hash)
+	if !ok {
+		apiError(w, r, http.StatusNotFound, codeNotFound, fmt.Sprintf("hash %q not committed in store", hash))
+		return
+	}
+	writeJSON(w, client.PointResponse{Hash: hash, Point: cp})
+}
+
+func (s *Server) handleCacheClear(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
 		return
 	}
 	if err := s.st.Clear(); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		apiError(w, r, http.StatusInternalServerError, codeStoreError, err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"status": "cleared"})
 }
 
 func (s *Server) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
-	if s.st == nil {
-		httpError(w, http.StatusNotFound, errNoStore.Error())
+	if !s.requireStore(w, r) {
 		return
 	}
 	hash := r.PathValue("hash")
 	if !s.st.Invalidate(hash) {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("hash %q not in store", hash))
+		apiError(w, r, http.StatusNotFound, codeNotFound, fmt.Sprintf("hash %q not in store", hash))
 		return
 	}
 	writeJSON(w, map[string]string{"status": "invalidated", "hash": hash})
 }
 
-func (s *Server) handleCacheCompact(w http.ResponseWriter, _ *http.Request) {
-	if s.st == nil {
-		httpError(w, http.StatusNotFound, errNoStore.Error())
+func (s *Server) handleCacheCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
 		return
 	}
 	if err := s.st.Compact(); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		apiError(w, r, http.StatusInternalServerError, codeStoreError, err.Error())
 		return
 	}
 	writeJSON(w, s.st.Stats())
+}
+
+// Point-lookup long-poll tuning: the wait cap and the commit-poll
+// cadence.
+const (
+	pointWaitMax  = 30 * time.Second
+	pointWaitPoll = 25 * time.Millisecond
+)
+
+// handlePointLookup serves one committed result by content hash — the
+// fabric's cross-node read-through. ?wait=DUR long-polls up to the cap
+// so a watcher polling an owner mid-compute picks the result up the
+// moment it commits instead of a full poll interval later.
+func (s *Server) handlePointLookup(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w, r) {
+		return
+	}
+	hash := r.PathValue("hash")
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		var err error
+		if wait, err = time.ParseDuration(ws); err != nil {
+			apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad wait duration %q", ws))
+			return
+		}
+		if wait > pointWaitMax {
+			wait = pointWaitMax
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		if cp, ok := s.st.Lookup(hash); ok {
+			writeJSON(w, client.PointResponse{Hash: hash, Point: cp})
+			return
+		}
+		if wait <= 0 || !time.Now().Before(deadline) {
+			apiError(w, r, http.StatusNotFound, codeNotCommitted, fmt.Sprintf("hash %q has no committed result on this node", hash))
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(pointWaitPoll):
+		}
+	}
+}
+
+// claimRequest is the body of POST /v1/points/{hash}/claim.
+type claimRequest struct {
+	Owner string `json:"owner"`
+	TTLMS int64  `json:"ttl_ms,omitempty"`
+}
+
+// handlePointClaim arbitrates the compute lease on a content hash —
+// the fabric's cross-node single-flight handshake. Every outcome is a
+// 200 with a status: "committed" (the result already exists; fetch it
+// instead of computing), "granted" (the caller owns the compute until
+// the TTL lapses), or "held" (another node is computing; back off).
+func (s *Server) handlePointClaim(w http.ResponseWriter, r *http.Request) {
+	defer io.Copy(io.Discard, r.Body)
+	hash := r.PathValue("hash")
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Owner == "" {
+		apiError(w, r, http.StatusBadRequest, codeInvalidArgument, "owner is required")
+		return
+	}
+	// A committed result beats any lease: the arbitration exists only
+	// to keep two nodes from computing the same point, and a committed
+	// point is past computing.
+	if s.st != nil {
+		if _, ok := s.st.Lookup(hash); ok {
+			writeJSON(w, client.Claim{Status: client.ClaimCommitted})
+			return
+		}
+	}
+	ttl := time.Duration(req.TTLMS) * time.Millisecond
+	ok, holder, remaining := s.leases.Claim(hash, req.Owner, ttl)
+	if !ok {
+		writeJSON(w, client.Claim{Status: client.ClaimHeld, Holder: holder, RemainingMS: remaining.Milliseconds()})
+		return
+	}
+	writeJSON(w, client.Claim{Status: client.ClaimGranted, TTLMS: remaining.Milliseconds()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -590,6 +737,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		// stays useful, so this is "degraded", not down.
 		body["status"] = "degraded"
 		body["store_degraded"] = true
+	}
+	if s.fabric != nil {
+		body["fabric_peers"] = len(s.fabric.Peers())
+		body["fabric_peers_alive"] = s.fabric.AliveCount()
 	}
 	writeJSON(w, body)
 }
@@ -630,6 +781,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		write("store_write_errors_total", "counter", "Segment appends that exhausted their retry budget.", st.WriteErrors)
 		write("store_recoveries_total", "counter", "Degraded-to-healthy store transitions.", st.Recoveries)
 	}
+	if s.fabric != nil {
+		fs := s.fabric.Stats()
+		write("fabric_peers", "gauge", "Static ring size, self included.", fs.Peers)
+		write("fabric_peers_alive", "gauge", "Ring members currently considered alive.", fs.PeersAlive)
+		write("fabric_remote_hits_total", "counter", "Points resolved from a peer's committed result.", fs.RemoteHits)
+		write("fabric_remote_misses_total", "counter", "Owner polls that found no committed result yet.", fs.RemoteMisses)
+		write("fabric_takeovers_total", "counter", "Remotely-owned points computed locally after owner failure or lease grant.", fs.Takeovers)
+		write("fabric_peer_submits_total", "counter", "Campaign fan-out submissions to peers.", fs.PeerSubmits)
+		write("fabric_peer_failures_total", "counter", "Failed calls to peers (any endpoint).", fs.PeerFailures)
+	}
+	write("fabric_leases_granted_total", "counter", "Point compute leases granted by this node.", s.leases.Granted())
+	write("fabric_leases_denied_total", "counter", "Point compute leases denied while held.", s.leases.Denied())
 	// Per-campaign controller gauges, one labelled line per active
 	// campaign under a single HELP/TYPE block per series.
 	active := s.tele.Active()
@@ -664,8 +827,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// Stable machine-readable error codes of the v1 envelope. Clients
+// branch on these, never on message text.
+const (
+	codeBadRequest      = "bad_request"      // unparsable body, id, or query parameter
+	codeInvalidArgument = "invalid_argument" // parsed fine, failed validation
+	codeNotFound        = "not_found"        // campaign, hash, or entry unknown
+	codeNoStore         = "no_store"         // cache/point API on a storeless daemon
+	codeStoreError      = "store_error"      // store operation failed
+	codeNotCommitted    = "point_not_committed"
+)
+
+// legacyAccept is the media type a pre-envelope client sends to keep
+// the flat {"error":"msg"} shape for one more release.
+const legacyAccept = "application/vnd.radqec.v0+json"
+
+// apiError writes the uniform v1 error envelope
+// {"error":{"code","message"}}. Clients that explicitly Accept the v0
+// media type get the legacy flat shape for one release (deprecated).
+func apiError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	if r != nil && strings.Contains(r.Header.Get("Accept"), legacyAccept) {
+		w.Header().Set("Deprecation", "true")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		return
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
 }

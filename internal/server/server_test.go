@@ -3,8 +3,11 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -12,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"radqec/internal/client"
 	"radqec/internal/exp"
 	"radqec/internal/store"
 )
@@ -37,50 +41,33 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *store.Store) {
 	return srv, ts, st
 }
 
-// submit posts a campaign and returns the decoded stream records.
+// submit posts a campaign through the typed client and returns the
+// decoded stream records.
 func submit(t *testing.T, ts *httptest.Server, req CampaignRequest) (points []exp.PointRecord, table exp.TableRecord) {
 	t.Helper()
-	body, _ := json.Marshal(req)
-	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	stream, err := client.New(ts.URL, ts.Client()).SubmitCampaign(context.Background(), req, client.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
-		t.Fatalf("content type = %q", ct)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	defer stream.Close()
 	sawTable := false
-	for sc.Scan() {
-		line := sc.Bytes()
-		var kind struct {
-			Type string `json:"type"`
+	for {
+		rec, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
 		}
-		if err := json.Unmarshal(line, &kind); err != nil {
-			t.Fatalf("stream line not JSON: %q", line)
+		if err != nil {
+			t.Fatal(err)
 		}
-		switch kind.Type {
-		case "point":
-			var p exp.PointRecord
-			if err := json.Unmarshal(line, &p); err != nil {
-				t.Fatal(err)
-			}
-			points = append(points, p)
-		case "table":
-			if err := json.Unmarshal(line, &table); err != nil {
-				t.Fatal(err)
-			}
+		switch {
+		case rec.Point != nil:
+			points = append(points, *rec.Point)
+		case rec.Table != nil:
+			table = *rec.Table
 			sawTable = true
-		default:
-			t.Fatalf("unexpected record type %q in %q", kind.Type, line)
+		case rec.Err != nil:
+			t.Fatalf("campaign failed mid-stream: %+v", *rec.Err)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
 	}
 	if !sawTable {
 		t.Fatal("stream ended without a table record")
@@ -192,10 +179,10 @@ func TestCampaignValidation(t *testing.T) {
 func TestRequestSeedDefaultsToCLIDefault(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	if got := (CampaignRequest{Experiment: "fig5"}).config(s).Seed; got != 1 {
+	if got := s.campaignConfig(CampaignRequest{Experiment: "fig5"}).Seed; got != 1 {
 		t.Fatalf("omitted seed = %d, want the CLI default 1", got)
 	}
-	if got := (CampaignRequest{Experiment: "fig5", Seed: seed(0)}).config(s).Seed; got != 0 {
+	if got := s.campaignConfig(CampaignRequest{Experiment: "fig5", Seed: seed(0)}).Seed; got != 0 {
 		t.Fatalf("explicit zero seed = %d, want 0", got)
 	}
 }

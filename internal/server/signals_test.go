@@ -227,21 +227,21 @@ func TestControllerPolicyResolution(t *testing.T) {
 	on := true
 	s := New(Config{Workers: 1, Control: defaultTestPolicy()})
 	defer s.Close()
-	if got := (CampaignRequest{Experiment: "fig5"}).config(s).Control; got == nil || got.Dwell != 6 {
+	if got := s.campaignConfig(CampaignRequest{Experiment: "fig5"}).Control; got == nil || got.Dwell != 6 {
 		t.Fatalf("daemon default not inherited: %+v", got)
 	}
-	if got := (CampaignRequest{Experiment: "fig5", Controller: &off}).config(s).Control; got != nil {
+	if got := s.campaignConfig(CampaignRequest{Experiment: "fig5", Controller: &off}).Control; got != nil {
 		t.Fatalf("request opt-out ignored: %+v", got)
 	}
-	if got := (CampaignRequest{Experiment: "fig5", Dwell: 9}).config(s).Control; got == nil || got.Dwell != 9 || got.Hysteresis != 0.2 {
+	if got := s.campaignConfig(CampaignRequest{Experiment: "fig5", Dwell: 9}).Control; got == nil || got.Dwell != 9 || got.Hysteresis != 0.2 {
 		t.Fatalf("request knob did not override daemon default: %+v", got)
 	}
 	sOff := New(Config{Workers: 1})
 	defer sOff.Close()
-	if got := (CampaignRequest{Experiment: "fig5"}).config(sOff).Control; got != nil {
+	if got := sOff.campaignConfig(CampaignRequest{Experiment: "fig5"}).Control; got != nil {
 		t.Fatalf("controller on without a daemon default or request opt-in: %+v", got)
 	}
-	if got := (CampaignRequest{Experiment: "fig5", Controller: &on}).config(sOff).Control; got == nil || !got.Enabled {
+	if got := sOff.campaignConfig(CampaignRequest{Experiment: "fig5", Controller: &on}).Control; got == nil || !got.Enabled {
 		t.Fatalf("request opt-in ignored on a controller-off daemon: %+v", got)
 	}
 }

@@ -71,9 +71,10 @@ type schedQueue struct {
 	// campaign's scoring controller (nil under the static policy).
 	runs []pointRun
 	ctrl *control.Controller
-	// next is the static policy's FIFO cursor; queue is the controller
-	// policy's pending-point set, scanned by priority at each handout.
-	next       int
+	// queue is the pending-point set: scanned in order (FIFO) under the
+	// static policy, by priority under the controller policy. Parked
+	// points (remotely owned, awaiting their fabric resolution) stay in
+	// the queue but are skipped by claimable until unpark clears them.
 	queue      []int
 	running    int // points of this campaign currently executing
 	unfinished int // points not yet completed
@@ -161,15 +162,33 @@ func (s *Scheduler) Run(ctx context.Context, cfg Config, points []Point) ([]Resu
 		ctrl:       control.New(cfg.Control, cfg.Align),
 	}
 	q.runs = make([]pointRun, len(points))
+	q.queue = make([]int, len(points))
 	for i := range q.runs {
 		q.runs[i] = pointRun{cfg: &q.cfg, p: points[i]}
+		q.queue[i] = i
 	}
 	if q.ctrl != nil {
-		q.queue = make([]int, len(points))
 		var ws workerState
 		for i := range points {
-			q.queue[i] = i
 			q.runs[i].prio = q.runs[i].priority(&ws)
+		}
+	}
+	// Fabric sharding: points owned by another node park before the
+	// campaign is published, so no worker ever claims one. Locally
+	// committed results short-circuit the parking — begin() will replay
+	// them without any remote traffic.
+	var watched []int
+	if cfg.Remote != nil && cfg.Cache != nil {
+		for i := range points {
+			h := points[i].Hash
+			if h == "" || cfg.Remote.Owned(h) {
+				continue
+			}
+			if _, ok := cfg.Cache.Lookup(h); ok {
+				continue
+			}
+			q.runs[i].parked = true
+			watched = append(watched, i)
 		}
 	}
 	if tel := cfg.Telemetry; tel != nil {
@@ -193,6 +212,15 @@ func (s *Scheduler) Run(ctx context.Context, cfg Config, points []Point) ([]Resu
 	s.queues = append([]*schedQueue{q}, s.queues...)
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	// Watches start only after the campaign is published: unpark takes
+	// the scheduler lock, so a resolution can land at any time from
+	// here on without racing the enqueue above.
+	for _, i := range watched {
+		i := i
+		cfg.Remote.Watch(qctx, points[i].Hash, func(takeover bool) {
+			s.unpark(q, i, takeover)
+		})
+	}
 	// Workers blocked in take() poll nothing: a cancellation arriving
 	// while the pool is idle (or this campaign is parked) must wake
 	// them so the abort drain can start immediately.
@@ -335,6 +363,37 @@ func (s *Scheduler) fail(q *schedQueue, i int, err error) {
 	s.complete(q, i)
 }
 
+// unpark releases a point parked on its fabric resolution: with
+// takeover=false the owner's committed result is in the cache and the
+// point's next handout replays it; with takeover=true the owner is
+// gone and the point computes locally. Idempotent — late or duplicate
+// resolutions of a point already unparked (or a campaign already
+// retired) are no-ops.
+func (s *Scheduler) unpark(q *schedQueue, i int, takeover bool) {
+	s.mu.Lock()
+	if !q.runs[i].parked {
+		s.mu.Unlock()
+		return
+	}
+	q.runs[i].parked = false
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if tel := q.cfg.Telemetry; tel != nil {
+		event := telemetry.EventRemoteHit
+		detail := "owner's committed result fetched into the local store"
+		if takeover {
+			event = telemetry.EventTakeover
+			detail = "owner unreachable or lease ceded; computing locally"
+		}
+		tel.Record(telemetry.Signal{
+			TimeNS: time.Now().UnixNano(),
+			Key:    q.points[i].Key,
+			Event:  event,
+			Detail: detail,
+		})
+	}
+}
+
 // take claims the best runnable point, blocking while every campaign is
 // drained, parked, or at its per-campaign worker cap. It returns nil
 // once the pool is closed and no campaign remains.
@@ -398,15 +457,13 @@ func (s *Scheduler) pick() (*schedQueue, int) {
 	}
 	best.served++
 	best.running++
-	if best.ctrl == nil {
-		best.next++
-	} else {
-		for j, i := range best.queue {
-			if i == bestPoint {
-				best.queue = append(best.queue[:j], best.queue[j+1:]...)
-				break
-			}
+	for j, i := range best.queue {
+		if i == bestPoint {
+			best.queue = append(best.queue[:j], best.queue[j+1:]...)
+			break
 		}
+	}
+	if best.ctrl != nil {
 		// An aborting point does no engine work, so claiming its hash
 		// would only park siblings behind a computation that will
 		// never commit.
@@ -437,37 +494,39 @@ func (s *Scheduler) pressure() float64 {
 }
 
 // pendingCount is how many of the campaign's points await a handout.
-func (q *schedQueue) pendingCount() int {
-	if q.ctrl != nil {
-		return len(q.queue)
-	}
-	return len(q.points) - q.next
-}
+func (q *schedQueue) pendingCount() int { return len(q.queue) }
 
-// claimable scans for the campaign's best claimable point: the FIFO
-// head under the static policy; the highest-priority pending point
-// whose single-flight key is unclaimed under the controller policy
-// (priority ties go to input order). It refreshes q.topPrio as a side
-// effect — the tail-pressure input to the campaign weight.
+// claimable scans for the campaign's best claimable point: the first
+// pending point in input order under the static policy; the
+// highest-priority pending point whose single-flight key is unclaimed
+// under the controller policy (priority ties go to input order). Points
+// parked on a fabric resolution are skipped under both policies. It
+// refreshes q.topPrio as a side effect — the tail-pressure input to
+// the campaign weight.
 func (q *schedQueue) claimable(flights map[string]struct{}) (int, bool) {
-	if q.ctrl == nil {
-		if q.next < len(q.points) {
-			return q.next, true
+	if q.aborted() {
+		// Draining a cancelled campaign: any pending point will do —
+		// its handout aborts immediately, so priorities, single-flight
+		// and fabric parking no longer apply.
+		if len(q.queue) > 0 {
+			return q.queue[0], true
 		}
 		return 0, false
 	}
-	if q.aborted() {
-		// Draining a cancelled campaign: any pending point will do —
-		// its handout aborts immediately, so priorities and
-		// single-flight parking no longer apply.
-		if len(q.queue) > 0 {
-			return q.queue[0], true
+	if q.ctrl == nil {
+		for _, i := range q.queue {
+			if !q.runs[i].parked {
+				return i, true
+			}
 		}
 		return 0, false
 	}
 	best, bestPrio, found := 0, 0.0, false
 	q.topPrio = 0
 	for _, i := range q.queue {
+		if q.runs[i].parked {
+			continue // awaiting its fabric resolution
+		}
 		prio := q.runs[i].prio
 		if prio > q.topPrio {
 			q.topPrio = prio

@@ -70,15 +70,21 @@ type Signal struct {
 	// EventPanic when the scheduler's recover boundary caught a panic
 	// in the point's turn, EventCancel when cancellation aborted the
 	// point between batches (its partial progress flushed as a
-	// checkpoint first). Detail carries the human-readable cause.
+	// checkpoint first), EventRemoteHit when a point parked on a fabric
+	// peer resolved from the peer's committed result, EventTakeover
+	// when the peer was declared dead (or ceded its lease) and the
+	// point fell back to local compute. Detail carries the
+	// human-readable cause.
 	Event  string `json:"event,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
 
 // Lifecycle event kinds for Signal.Event.
 const (
-	EventPanic  = "panic"
-	EventCancel = "cancel"
+	EventPanic     = "panic"
+	EventCancel    = "cancel"
+	EventRemoteHit = "remote_hit"
+	EventTakeover  = "takeover"
 )
 
 // Route records the engine-resolution decision behind a campaign: the
@@ -113,6 +119,8 @@ type Campaign struct {
 	allocBytes  atomic.Int64
 	panics      atomic.Int64
 	cancels     atomic.Int64
+	remoteHits  atomic.Int64
+	takeovers   atomic.Int64
 
 	// Controller gauges, written by the scheduler/controller and read
 	// by /metrics and -stats.
@@ -159,6 +167,10 @@ func (c *Campaign) Record(s Signal) {
 		c.panics.Add(1)
 	case EventCancel:
 		c.cancels.Add(1)
+	case EventRemoteHit:
+		c.remoteHits.Add(1)
+	case EventTakeover:
+		c.takeovers.Add(1)
 	}
 	s.Seq = c.seq.Add(1) - 1
 	c.slots[s.Seq%RingSize].Store(&s)
@@ -239,6 +251,8 @@ type Stats struct {
 	AllocBytes  int64   `json:"alloc_bytes"`
 	Panics      int64   `json:"panics,omitempty"`
 	Cancels     int64   `json:"cancels,omitempty"`
+	RemoteHits  int64   `json:"remote_hits,omitempty"`
+	Takeovers   int64   `json:"takeovers,omitempty"`
 	ChunkSize   int64   `json:"chunk_size"`
 	QueueDepth  int64   `json:"queue_depth"`
 	DwellLeft   int64   `json:"dwell_left"`
@@ -272,6 +286,8 @@ func (c *Campaign) Stats() Stats {
 		AllocBytes:  c.allocBytes.Load(),
 		Panics:      c.panics.Load(),
 		Cancels:     c.cancels.Load(),
+		RemoteHits:  c.remoteHits.Load(),
+		Takeovers:   c.takeovers.Load(),
 		ChunkSize:   c.chunkSize.Load(),
 		QueueDepth:  c.queueDepth.Load(),
 		DwellLeft:   c.dwellLeft.Load(),

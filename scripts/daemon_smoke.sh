@@ -38,8 +38,8 @@ if [[ -z "$bindir" ]]; then
 fi
 mkdir -p "$bindir"
 
-echo "== building radqec + radqecd"
-go build -o "$bindir/" ./cmd/radqec ./cmd/radqecd
+echo "== building radqec + radqecd + smokeclient"
+go build -o "$bindir/" ./cmd/radqec ./cmd/radqecd ./scripts/smokeclient
 
 port=$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')
 addr="127.0.0.1:$port"
@@ -64,14 +64,14 @@ echo "== CLI reference run"
 "$bindir/radqec" -shots "$SHOTS" -seed "$SEED" -json "$EXPERIMENT" \
   >"$workdir/cli.ndjson" 2>/dev/null
 
-body=$(printf '{"experiment":"%s","shots":%d,"seed":%d}' "$EXPERIMENT" "$SHOTS" "$SEED")
-
-echo "== cold daemon submission"
-curl -fsS -X POST "http://$addr/v1/campaigns" -d "$body" >"$workdir/cold.ndjson"
+echo "== cold daemon submission (typed Go client)"
+"$bindir/smokeclient" -addr "$addr" -experiment "$EXPERIMENT" -shots "$SHOTS" -seed "$SEED" \
+  >"$workdir/cold.ndjson" 2>/dev/null
 computed_cold=$(curl -fsS "http://$addr/metrics" | awk '/^radqecd_points_computed_total /{print $2}')
 
 echo "== warm daemon re-submission (must be a full cache hit)"
-curl -fsS -X POST "http://$addr/v1/campaigns" -d "$body" >"$workdir/warm.ndjson"
+"$bindir/smokeclient" -addr "$addr" -experiment "$EXPERIMENT" -shots "$SHOTS" -seed "$SEED" \
+  >"$workdir/warm.ndjson" 2>/dev/null
 computed_warm=$(curl -fsS "http://$addr/metrics" | awk '/^radqecd_points_computed_total /{print $2}')
 
 python3 - "$workdir" "$computed_cold" "$computed_warm" <<'EOF'
@@ -167,7 +167,8 @@ echo "== CLI reference for the cancelled campaign"
   >"$workdir/cancel_cli.ndjson" 2>/dev/null
 
 echo "== resubmit: must resume from checkpoints to the identical table"
-curl -fsS -X POST "http://$addr/v1/campaigns" -d "$cancel_body" >"$workdir/resumed.ndjson"
+"$bindir/smokeclient" -addr "$addr" -experiment "$EXPERIMENT" -shots "$CANCEL_SHOTS" -seed "$CANCEL_SEED" \
+  >"$workdir/resumed.ndjson" 2>/dev/null
 
 python3 - "$workdir" <<'EOF'
 import json, sys

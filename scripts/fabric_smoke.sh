@@ -1,0 +1,201 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh [BIN_DIR]
+#
+# End-to-end smoke test of the two-node campaign fabric as separate
+# OS processes (the in-process ring lives in internal/server tests):
+#
+#   1. start two radqecd peers, each with its own store, joined into
+#      one static ring via -peers/-self
+#   2. run the same fig5 campaign through the CLI (single-node
+#      reference) and through peer A, and assert the fabric table and
+#      every per-point record are byte-identical to the reference
+#   3. assert the work actually sharded: radqecd_points_computed_total
+#      summed across the ring equals the point count exactly (each
+#      point's shots burned once, nowhere twice), both peers computed a
+#      nonzero share, peer A resolved a nonzero number of points
+#      remotely (radqecd_fabric_remote_hits_total > 0), and no
+#      takeovers fired on a healthy ring
+#   4. warm re-submission to peer B replays entirely from its store
+#      (fetched + owned results): zero new engine work anywhere
+#   5. SIGTERM both daemons and require clean exits
+#
+# Builds into BIN_DIR (default: a temp dir). Needs python3 and curl.
+set -euo pipefail
+
+SHOTS=2000
+SEED=7
+EXPERIMENT=fig5
+
+bindir=${1:-}
+workdir=$(mktemp -d)
+cleanup() {
+  for pid in "${pid_a:-}" "${pid_b:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+if [[ -z "$bindir" ]]; then
+  bindir="$workdir/bin"
+fi
+mkdir -p "$bindir"
+
+echo "== building radqec + radqecd + smokeclient"
+go build -o "$bindir/" ./cmd/radqec ./cmd/radqecd ./scripts/smokeclient
+
+freeport() {
+  python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()'
+}
+addr_a="127.0.0.1:$(freeport)"
+addr_b="127.0.0.1:$(freeport)"
+ring="$addr_a,$addr_b"
+
+echo "== starting fabric ring: $ring"
+"$bindir/radqecd" -addr "$addr_a" -store "$workdir/store-a" \
+  -peers "$ring" -self "$addr_a" >"$workdir/daemon-a.log" 2>&1 &
+pid_a=$!
+"$bindir/radqecd" -addr "$addr_b" -store "$workdir/store-b" \
+  -peers "$ring" -self "$addr_b" >"$workdir/daemon-b.log" 2>&1 &
+pid_b=$!
+
+wait_healthy() {
+  local addr=$1 pid=$2 name=$3
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "fabric_smoke: $name died on startup" >&2
+      cat "$workdir/daemon-$name.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "fabric_smoke: $name never became healthy" >&2
+  exit 1
+}
+wait_healthy "$addr_a" "$pid_a" a
+wait_healthy "$addr_b" "$pid_b" b
+
+metric() { curl -fsS "http://$1/metrics" | awk -v m="radqecd_$2" '$1==m{print $2}'; }
+
+echo "== CLI single-node reference run"
+"$bindir/radqec" -shots "$SHOTS" -seed "$SEED" -json "$EXPERIMENT" \
+  >"$workdir/cli.ndjson" 2>/dev/null
+
+echo "== fabric submission to peer A"
+"$bindir/smokeclient" -addr "$addr_a" -experiment "$EXPERIMENT" -shots "$SHOTS" -seed "$SEED" \
+  >"$workdir/fabric.ndjson" 2>/dev/null
+
+# Peer B's fan-out campaign can outlive A's stream by a beat; settle
+# before scraping counters.
+for _ in $(seq 1 100); do
+  active=$(( $(metric "$addr_a" campaigns_active) + $(metric "$addr_b" campaigns_active) ))
+  if [[ "$active" == "0" ]]; then break; fi
+  sleep 0.1
+done
+
+npoints=$(python3 - "$workdir" <<'EOF'
+import json, sys
+workdir = sys.argv[1]
+
+def load(name):
+    points, tables = {}, []
+    with open(f"{workdir}/{name}.ndjson") as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec["type"] == "point":
+                rec.pop("cached", False)
+                points[rec["key"]] = rec
+            elif rec["type"] == "table":
+                rec.pop("elapsed_ms")
+                tables.append(rec)
+            else:
+                sys.exit(f"unexpected record type {rec['type']!r} in {name}")
+    if len(tables) != 1:
+        sys.exit(f"{name}: {len(tables)} table records")
+    return points, tables[0]
+
+cli_pts, cli_tab = load("cli")
+fab_pts, fab_tab = load("fabric")
+if fab_tab != cli_tab:
+    sys.exit("fabric table differs from the single-node CLI table")
+if set(fab_pts) != set(cli_pts):
+    sys.exit("fabric run streamed different point keys than the CLI")
+for key, rec in cli_pts.items():
+    if fab_pts[key] != rec:
+        sys.exit(f"fabric point {key} differs from the CLI reference")
+print(len(cli_pts))
+EOF
+)
+echo "fabric_smoke: $npoints points byte-identical to the single-node reference"
+
+computed_a=$(metric "$addr_a" points_computed_total)
+computed_b=$(metric "$addr_b" points_computed_total)
+remote_hits_a=$(metric "$addr_a" fabric_remote_hits_total)
+takeovers=$(( $(metric "$addr_a" fabric_takeovers_total) + $(metric "$addr_b" fabric_takeovers_total) ))
+total=$(( computed_a + computed_b ))
+echo "fabric_smoke: computed A=$computed_a B=$computed_b remote_hits(A)=$remote_hits_a takeovers=$takeovers"
+if [[ "$total" != "$npoints" ]]; then
+  echo "fabric_smoke: points_computed_total across ring = $total, want exactly $npoints (single-flight violated)" >&2
+  exit 1
+fi
+if [[ "$computed_a" == "0" || "$computed_b" == "0" ]]; then
+  echo "fabric_smoke: ring did not shard (A=$computed_a B=$computed_b)" >&2
+  exit 1
+fi
+if [[ "$remote_hits_a" == "0" ]]; then
+  echo "fabric_smoke: peer A resolved no points remotely" >&2
+  exit 1
+fi
+if [[ "$takeovers" != "0" ]]; then
+  echo "fabric_smoke: $takeovers takeovers on a healthy ring" >&2
+  exit 1
+fi
+
+echo "== warm re-submission to peer B (must be a full replay, no engine work)"
+"$bindir/smokeclient" -addr "$addr_b" -experiment "$EXPERIMENT" -shots "$SHOTS" -seed "$SEED" \
+  >"$workdir/warm.ndjson" 2>/dev/null
+python3 - "$workdir" <<'EOF'
+import json, sys
+workdir = sys.argv[1]
+warm = [json.loads(l) for l in open(f"{workdir}/warm.ndjson")]
+cli_tab = [json.loads(l) for l in open(f"{workdir}/cli.ndjson") if json.loads(l)["type"] == "table"][0]
+warm_tab = [r for r in warm if r["type"] == "table"][0]
+cli_tab.pop("elapsed_ms"); warm_tab.pop("elapsed_ms")
+if warm_tab != cli_tab:
+    sys.exit("warm fabric table differs from the single-node reference")
+uncached = [r["key"] for r in warm if r["type"] == "point" and not r.get("cached")]
+if uncached:
+    sys.exit(f"warm run on peer B recomputed {len(uncached)} points: {uncached[:3]}")
+EOF
+computed_a2=$(metric "$addr_a" points_computed_total)
+computed_b2=$(metric "$addr_b" points_computed_total)
+if [[ "$computed_a2" != "$computed_a" || "$computed_b2" != "$computed_b" ]]; then
+  echo "fabric_smoke: warm run invoked engines (A $computed_a->$computed_a2, B $computed_b->$computed_b2)" >&2
+  exit 1
+fi
+echo "fabric_smoke: warm replay on peer B was a full cache hit"
+
+echo "== graceful shutdown"
+for pid in "$pid_a" "$pid_b"; do
+  kill -TERM "$pid"
+done
+for pid in "$pid_a" "$pid_b"; do
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "fabric_smoke: a daemon ignored SIGTERM" >&2
+    exit 1
+  fi
+  wait "$pid" && status=0 || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    echo "fabric_smoke: daemon exited $status on SIGTERM" >&2
+    cat "$workdir"/daemon-*.log >&2
+    exit 1
+  fi
+done
+unset pid_a pid_b
+echo "fabric_smoke: PASS"
