@@ -23,6 +23,10 @@
 //	                 for campaigns (default on); a campaign request's
 //	                 "controller" field overrides per campaign. Tables
 //	                 are byte-identical either way
+//	-engine-width W  default batched-engine tile width in lanes: auto
+//	                 (default), 64, 256, or 512; a campaign request's
+//	                 "engine_width" field overrides per campaign. Width
+//	                 never changes results, only throughput
 //	-dwell N         default policy batches the controller holds a chunk
 //	                 size before re-scoring (default 4)
 //	-hysteresis H    default relative score advantage a challenger chunk
@@ -57,6 +61,7 @@ import (
 	"time"
 
 	"radqec/internal/control"
+	"radqec/internal/core"
 	"radqec/internal/fabric"
 	"radqec/internal/server"
 	"radqec/internal/store"
@@ -68,6 +73,7 @@ func main() {
 	workers := flag.Int("workers", 0, "shared sweep worker pool size (0 = GOMAXPROCS)")
 	lru := flag.Int("lru", 0, "decoded results held in memory (0 = default)")
 	controller := flag.String("controller", "on", "default score-driven batch/allocation controller: on or off")
+	engineWidth := flag.String("engine-width", "auto", "default batched-engine tile width in lanes: auto, 64, 256, or 512 (requests may override per campaign)")
 	dwell := flag.Int("dwell", 4, "default policy batches the controller holds a chunk size before re-scoring")
 	hysteresis := flag.Float64("hysteresis", 0.15, "default relative score advantage needed to displace the incumbent chunk size")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers")
@@ -89,6 +95,9 @@ func main() {
 	}
 	if *controller != "on" && *controller != "off" {
 		usageError(fmt.Sprintf("-controller %q out of range (want on or off)", *controller))
+	}
+	if _, err := core.ResolveEngineWidth(*engineWidth); err != nil {
+		usageError(fmt.Sprintf("unknown engine width %q (want one of %v)", *engineWidth, core.Widths()))
 	}
 	if *dwell < 1 {
 		usageError(fmt.Sprintf("-dwell %d out of range (want >= 1 policy batches)", *dwell))
@@ -152,7 +161,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "radqecd: fabric ring of %d nodes, self %s\n", len(coord.Peers()), *self)
 	}
-	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl, Fabric: coord})
+	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl, Fabric: coord, EngineWidth: *engineWidth})
 	// No blanket ReadTimeout/WriteTimeout: campaign streams legitimately
 	// run for minutes and per-write deadlines already guard them (see
 	// server.streamWriteTimeout). The header and idle limits below are

@@ -38,14 +38,19 @@ type CampaignRequest struct {
 	Shots      int    `json:"shots,omitempty"`
 	// Seed is a pointer so an omitted field takes the CLI's default
 	// seed (1) while an explicit {"seed":0} still means seed zero.
-	Seed     *uint64 `json:"seed,omitempty"`
-	P        float64 `json:"p,omitempty"`
-	NS       int     `json:"ns,omitempty"`
-	Rounds   int     `json:"rounds,omitempty"`
-	Engine   string  `json:"engine,omitempty"`
-	Decoder  string  `json:"decoder,omitempty"`
-	CI       float64 `json:"ci,omitempty"`
-	MaxShots int     `json:"maxshots,omitempty"`
+	Seed   *uint64 `json:"seed,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	NS     int     `json:"ns,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+	Engine string  `json:"engine,omitempty"`
+	// EngineWidth selects the batched engine's tile width by name
+	// ("auto", "64", "256" or "512"; omitted = the daemon's default).
+	// Width never changes results, only throughput; the resolved width
+	// is reported in the campaign's route signal.
+	EngineWidth string  `json:"engine_width,omitempty"`
+	Decoder     string  `json:"decoder,omitempty"`
+	CI          float64 `json:"ci,omitempty"`
+	MaxShots    int     `json:"maxshots,omitempty"`
 	// Workers caps this campaign's concurrency inside the shared pool
 	// (0 = the whole pool). It never grows the pool.
 	Workers int `json:"workers,omitempty"`

@@ -70,19 +70,95 @@ const (
 func Decoders() []string { return []string{DecoderMWPM, DecoderUF} }
 
 // ResolveDecoder maps a decoder name onto a code's scalar and
-// word-parallel decode functions; both views decode lane-for-lane
+// tile-parallel decode functions; both views decode lane-for-lane
 // identically. Empty means DecoderMWPM. Unknown names are an error —
 // the single decoder-selection policy shared by the core façade, the
 // experiment sweeps and the CLI.
-func ResolveDecoder(name string, code *qec.Code) (func(bits []int) int, frame.BatchDecodeFunc, error) {
+func ResolveDecoder(name string, code *qec.Code) (func(bits []int) int, frame.TileDecodeFunc, error) {
 	switch name {
 	case "", DecoderMWPM:
-		return code.Decode, code.DecodeBatch, nil
+		return code.Decode, code.DecodeTile, nil
 	case DecoderUF:
-		return code.DecodeUnionFind, code.DecodeUnionFindBatch, nil
+		return code.DecodeUnionFind, code.DecodeUnionFindTile, nil
 	default:
 		return nil, nil, fmt.Errorf("core: unknown decoder %q (want one of %v)", name, Decoders())
 	}
+}
+
+// Engine width names for Options.Width and the -engine-width flag.
+const (
+	// WidthAuto (the default) picks the widest tile whose frame state
+	// fits the cache budget — in practice 512 lanes for every code in
+	// the repo; see AutoWidth.
+	WidthAuto = "auto"
+	// Width64, Width256 and Width512 force the engine width in lanes
+	// (1, 4 and 8 uint64 words per tile). Width is pure mechanism:
+	// every width produces byte-identical tables.
+	Width64  = "64"
+	Width256 = "256"
+	Width512 = "512"
+)
+
+// Widths lists the recognised engine width names.
+func Widths() []string { return []string{WidthAuto, Width64, Width256, Width512} }
+
+// ResolveEngineWidth maps a width name onto lanes: "" and WidthAuto
+// return 0 (resolve per circuit via AutoWidth), explicit names return
+// their lane count. Unknown names are an error naming the valid set —
+// the single width-validation policy shared by the CLI flags, the
+// daemon's request validation and the experiment sweeps.
+func ResolveEngineWidth(name string) (int, error) {
+	switch name {
+	case "", WidthAuto:
+		return 0, nil
+	case Width64:
+		return 64, nil
+	case Width256:
+		return 256, nil
+	case Width512:
+		return 512, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine width %q (want one of %v)", name, Widths())
+	}
+}
+
+// autoWidthBudget is the per-tile cache budget AutoWidth fits the frame
+// state into: two bit-planes plus the packed record, all words of the
+// tile, must sit comfortably in L2 next to the decoder's scratch.
+const autoWidthBudget = 128 << 10
+
+// AutoWidth picks the widest supported engine width whose tile state
+// (x/z bit-planes plus packed record) fits the cache budget, and
+// reports the heuristic's rationale for the telemetry route signal.
+// Every code family in the repo fits at 512 lanes; only circuits with
+// thousands of qubits step down.
+func AutoWidth(circ *circuit.Circuit) (lanes int, reason string) {
+	perWord := (2*circ.NumQubits + circ.NumClbits) * 8
+	widths := frame.TileWidths()
+	for i := len(widths) - 1; i >= 0; i-- {
+		lanes = widths[i]
+		if perWord*(lanes/64) <= autoWidthBudget || i == 0 {
+			break
+		}
+	}
+	return lanes, fmt.Sprintf(
+		"auto: widest tile fitting cache: %d lanes (%d state bytes per lane-word, %d KiB budget)",
+		lanes, perWord, autoWidthBudget>>10)
+}
+
+// ResolveWidthRoute resolves a width name against a circuit: explicit
+// widths resolve to themselves, "" and WidthAuto run the AutoWidth
+// heuristic. The reason string feeds the campaign route signal.
+func ResolveWidthRoute(name string, circ *circuit.Circuit) (lanes int, reason string, err error) {
+	lanes, err = ResolveEngineWidth(name)
+	if err != nil {
+		return 0, "", err
+	}
+	if lanes == 0 {
+		lanes, reason = AutoWidth(circ)
+		return lanes, reason, nil
+	}
+	return lanes, fmt.Sprintf("explicit width request: %d lanes", lanes), nil
 }
 
 // CodeSpec selects a surface code, its distance tuple and its memory
@@ -124,6 +200,10 @@ type Options struct {
 	// Decoder selects the syndrome decoder (DecoderMWPM or DecoderUF);
 	// empty means DecoderMWPM.
 	Decoder string
+	// Width selects the batched engine's width (WidthAuto, Width64,
+	// Width256 or Width512); empty means WidthAuto. Only the batched
+	// engine consumes it; width never changes results.
+	Width string
 }
 
 func (o Options) withDefaults() Options {
@@ -195,10 +275,12 @@ type Simulator struct {
 	code *qec.Code
 	tr   *arch.Transpiled
 	dist [][]int
-	// decode and decodeBatch are the scalar and word-parallel views of
-	// the configured decoder, resolved once at construction.
-	decode      func(bits []int) int
-	decodeBatch frame.BatchDecodeFunc
+	// decode and decodeTile are the scalar and tile-parallel views of
+	// the configured decoder, resolved once at construction; width is
+	// the engine width in lanes resolved against the routed circuit.
+	decode     func(bits []int) int
+	decodeTile frame.TileDecodeFunc
+	width      int
 }
 
 // NewSimulator builds the code, transpiles it onto the topology and
@@ -227,7 +309,7 @@ func NewSimulator(opts Options) (*Simulator, error) {
 	if _, err := ResolveEngine(opts.Engine); err != nil {
 		return nil, err
 	}
-	decode, decodeBatch, err := ResolveDecoder(opts.Decoder, code)
+	decode, decodeTile, err := ResolveDecoder(opts.Decoder, code)
 	if err != nil {
 		return nil, err
 	}
@@ -239,13 +321,18 @@ func NewSimulator(opts Options) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	width, _, err := ResolveWidthRoute(opts.Width, tr.Circuit)
+	if err != nil {
+		return nil, err
+	}
 	return &Simulator{
-		opts:        opts,
-		code:        code,
-		tr:          tr,
-		dist:        topo.Graph.AllPairsShortestPaths(),
-		decode:      decode,
-		decodeBatch: decodeBatch,
+		opts:       opts,
+		code:       code,
+		tr:         tr,
+		dist:       topo.Graph.AllPairsShortestPaths(),
+		decode:     decode,
+		decodeTile: decodeTile,
+		width:      width,
 	}, nil
 }
 
@@ -269,23 +356,28 @@ type EngineRunner func(start, n int) (shots, errors int)
 
 // NewEngineRunner builds the campaign of a resolved engine name and
 // returns its range runner — the single construction point shared by
-// the core façade and the experiment sweeps. decode and decodeBatch
-// are the scalar and word-parallel views of the same decoder; the
-// batched engine prefers decodeBatch and falls back to unpacking lanes
-// through decode. seed doubles as the frame engines' reference seed.
+// the core façade and the experiment sweeps. decode and decodeTile are
+// the scalar and tile-parallel views of the same decoder; the batched
+// engine prefers decodeTile and falls back to unpacking lanes through
+// decode. width is the batched engine's lane width (0 picks AutoWidth);
+// seed doubles as the frame engines' reference seed.
 func NewEngineRunner(engine string, circ *circuit.Circuit, dep noise.Depolarizing,
 	ev *noise.RadiationEvent, seed uint64, expected int,
-	decode func(bits []int) int, decodeBatch frame.BatchDecodeFunc, workers int) EngineRunner {
+	decode func(bits []int) int, decodeTile frame.TileDecodeFunc, width, workers int) EngineRunner {
 	switch engine {
 	case EngineBatch:
-		if decodeBatch == nil {
-			decodeBatch = frame.LaneDecode(decode, circ.NumClbits)
+		if decodeTile == nil {
+			decodeTile = frame.LaneDecodeTile(decode, circ.NumClbits)
+		}
+		if width == 0 {
+			width, _ = AutoWidth(circ)
 		}
 		camp := &frame.BatchCampaign{
-			Sim:         frame.NewBatch(circ, dep, ev, seed),
-			DecodeBatch: decodeBatch,
-			Expected:    expected,
-			Workers:     workers,
+			Sim:        frame.NewBatch(circ, dep, ev, seed),
+			DecodeTile: decodeTile,
+			Expected:   expected,
+			Workers:    workers,
+			Width:      width,
 		}
 		return func(start, n int) (int, int) {
 			r := camp.RunFrom(seed, start, n)
@@ -322,11 +414,17 @@ func NewEngineRunner(engine string, circ *circuit.Circuit, dep noise.Depolarizin
 
 // EngineRoute records one engine-resolution decision: the requested
 // name, the engine that will actually run, and the policy signal that
-// justified the route. The telemetry layer carries it per campaign so
-// the daemon's signals stream and the CLI's -stats report can explain
-// why a campaign ran where it did.
+// justified the route — plus, for the batched engine, the resolved
+// lane width and the width heuristic's rationale. The telemetry layer
+// carries it per campaign so the daemon's signals stream and the CLI's
+// -stats report can explain why a campaign ran where it did.
 type EngineRoute struct {
 	Requested, Resolved, Reason string
+	// Width is the resolved engine width in lanes (0 when the resolved
+	// engine is not the batched one or the width is not yet bound to a
+	// circuit); WidthReason is the width decision's rationale.
+	Width       int
+	WidthReason string
 }
 
 // ResolveEngineRoute maps a configured engine name onto the engine that
@@ -371,16 +469,16 @@ func (s *Simulator) engine() string {
 
 // runWith executes one fixed-shot campaign on the resolved engine.
 func (s *Simulator) runWith(ev *noise.RadiationEvent, seed uint64,
-	decode func([]int) int, decodeBatch frame.BatchDecodeFunc) Result {
+	decode func([]int) int, decodeTile frame.TileDecodeFunc) Result {
 	run := NewEngineRunner(s.engine(), s.tr.Circuit,
 		noise.NewDepolarizing(s.opts.PhysicalErrorRate), ev, seed,
-		s.code.ExpectedLogical(), decode, decodeBatch, s.opts.Workers)
+		s.code.ExpectedLogical(), decode, decodeTile, s.width, s.opts.Workers)
 	shots, errors := run(0, s.opts.Shots)
 	return Result{Shots: shots, Errors: errors}
 }
 
 func (s *Simulator) run(ev *noise.RadiationEvent, seed uint64) Result {
-	return s.runWith(ev, seed, s.decode, s.decodeBatch)
+	return s.runWith(ev, seed, s.decode, s.decodeTile)
 }
 
 // Clean estimates the logical error rate with intrinsic noise only.
@@ -438,5 +536,5 @@ func (s *Simulator) Erase(members []int) Result {
 // readout under a full-impact strike, for decoder-vs-raw comparisons.
 func (s *Simulator) RawReadoutStrike(root int, spread bool) Result {
 	ev := noise.NewRadiationEvent(s.dist[root], 1.0, spread)
-	return s.runWith(ev, s.opts.Seed, s.code.RawLogical, s.code.RawLogicalBatch)
+	return s.runWith(ev, s.opts.Seed, s.code.RawLogical, s.code.RawLogicalTile)
 }

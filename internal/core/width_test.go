@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"radqec/internal/circuit"
+)
+
+func TestResolveEngineWidth(t *testing.T) {
+	for name, want := range map[string]int{
+		"":        0,
+		WidthAuto: 0,
+		Width64:   64,
+		Width256:  256,
+		Width512:  512,
+	} {
+		got, err := ResolveEngineWidth(name)
+		if err != nil {
+			t.Errorf("ResolveEngineWidth(%q): %v", name, err)
+		} else if got != want {
+			t.Errorf("ResolveEngineWidth(%q) = %d, want %d", name, got, want)
+		}
+	}
+	_, err := ResolveEngineWidth("128")
+	if err == nil {
+		t.Fatal("unknown width accepted")
+	}
+	// The error must name the valid set: it is the message both CLI
+	// flags and the daemon's request validation surface.
+	for _, name := range Widths() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("width error %q does not name %q", err, name)
+		}
+	}
+}
+
+// TestAutoWidthStepsDown: the heuristic picks the widest tile whose
+// frame state fits the cache budget — 512 lanes for every code in the
+// repo, stepping down only for circuits with thousands of qubits.
+func TestAutoWidthStepsDown(t *testing.T) {
+	for _, tc := range []struct {
+		qubits, clbits, want int
+	}{
+		{30, 40, 512},   // every repo code family lands here
+		{1500, 0, 256},  // 8-word tile over budget, 4-word fits
+		{6000, 0, 64},   // only the single-word tile fits
+		{100000, 0, 64}, // nothing fits: floor at the narrowest width
+	} {
+		lanes, reason := AutoWidth(circuit.New(tc.qubits, tc.clbits))
+		if lanes != tc.want {
+			t.Errorf("AutoWidth(%d qubits, %d clbits) = %d lanes, want %d",
+				tc.qubits, tc.clbits, lanes, tc.want)
+		}
+		if !strings.Contains(reason, "auto") {
+			t.Errorf("auto reason %q does not name the heuristic", reason)
+		}
+	}
+}
+
+func TestResolveWidthRoute(t *testing.T) {
+	circ := circuit.New(30, 40)
+	lanes, reason, err := ResolveWidthRoute(Width256, circ)
+	if err != nil || lanes != 256 || !strings.Contains(reason, "explicit") {
+		t.Fatalf("explicit route = (%d, %q, %v)", lanes, reason, err)
+	}
+	lanes, reason, err = ResolveWidthRoute(WidthAuto, circ)
+	if err != nil || lanes != 512 || !strings.Contains(reason, "auto") {
+		t.Fatalf("auto route = (%d, %q, %v)", lanes, reason, err)
+	}
+	if _, _, err := ResolveWidthRoute("wide", circ); err == nil {
+		t.Fatal("unknown width accepted")
+	}
+}

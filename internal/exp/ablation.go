@@ -29,10 +29,10 @@ func AblationDecoder(cfg Config) (*Table, error) {
 	type decoder struct {
 		name   string
 		decode func([]int) int
-		// decodeBatch is the word-parallel twin, for decoders that have
+		// decodeTile is the tile-parallel twin, for decoders that have
 		// one (lane-for-lane identical); the rest decode lane-by-lane
 		// when the batched engine runs the campaign.
-		decodeBatch frame.BatchDecodeFunc
+		decodeTile frame.TileDecodeFunc
 	}
 	var (
 		specs []pointSpec
@@ -47,14 +47,14 @@ func AblationDecoder(cfg Config) (*Table, error) {
 		// The three decoders read the same campaign at the same seed, so
 		// they see identical shot streams and differ only in decoding.
 		for _, dec := range []decoder{
-			{"blossom", code.Decode, code.DecodeBatch},
-			{"union-find", code.DecodeUnionFind, code.DecodeUnionFindBatch},
+			{"blossom", code.Decode, code.DecodeTile},
+			{"union-find", code.DecodeUnionFind, code.DecodeUnionFindTile},
 			{"greedy", code.DecodeGreedy, nil},
 		} {
 			s := p.spec(fmt.Sprintf("ablation-decoder/%s/%s", code.Name, dec.name),
 				cfg, ev, cfg.Seed+uint64(ci))
 			s.decode = dec.decode
-			s.decodeBatch = dec.decodeBatch
+			s.decodeTile = dec.decodeTile
 			specs = append(specs, s)
 			names = append(names, dec.name)
 		}

@@ -67,7 +67,10 @@ func tableText(t *testing.T, tab *Table) string {
 // a warm re-run serves every point from the cache without touching the
 // engines.
 func TestStoreResumeByteIdenticalTables(t *testing.T) {
-	base := Config{Shots: 256, Seed: 12345}
+	// Shots spans two tile-aligned batches (alignUp(ceil(1024/8),
+	// frame.TileShots) = 512), so the cold run leaves a checkpoint trail
+	// for the kill to preserve.
+	base := Config{Shots: 1024, Seed: 12345}
 	ref, err := Threshold(base)
 	if err != nil {
 		t.Fatal(err)

@@ -97,6 +97,14 @@ type Config struct {
 	// means DecoderMWPM. Unrecognised names panic like Engine; the CLI
 	// validates its flag first.
 	Decoder string
+	// Width selects the batched engine's tile width by name ("",
+	// core.WidthAuto, "64", "256" or "512"); empty means auto (the
+	// widest tile whose frame state fits the cache budget — see
+	// core.AutoWidth). Width never changes results, only throughput:
+	// shot i always lives in lane i%64 of absolute word i/64, and tiles
+	// group words on the absolute word grid. Unrecognised names panic
+	// like Engine; the CLI validates its flag first.
+	Width string
 	// Rounds is the number of stabilization rounds every figure builds
 	// its codes with (0 means the paper's 2). The memory experiment
 	// sweeps rounds itself and treats this as the sweep's deepest point.
@@ -178,19 +186,21 @@ func (c Config) Defaults() Config {
 }
 
 // sweepConfig maps the experiment configuration onto the sweep engine.
-// Batches are always aligned to the batched engine's 64-shot words —
-// bit-parallel campaigns fill whole words, and every engine sees the
-// same chunking, so `-engine auto` and an explicit engine produce
-// identical output for the points they resolve alike. Alignment never
-// changes merged counts (the BatchRunner contract), only how the work
-// is chunked into the per-batch tail statistics.
+// Batches are always aligned to the batched engine's widest tile
+// (frame.TileShots) — bit-parallel campaigns fill whole tiles at every
+// width, and every engine and width sees the same chunking, so
+// `-engine auto`, an explicit engine, and any `-engine-width` produce
+// identical output (tables and tail columns alike) for the points they
+// resolve alike. Alignment never changes merged counts (the
+// BatchRunner contract), only how the work is chunked into the
+// per-batch tail statistics.
 func (c Config) sweepConfig() sweep.Config {
 	return sweep.Config{
 		Policy: sweep.Policy{
 			Shots:    c.Shots,
 			CI:       c.CI,
 			MaxShots: c.MaxShots,
-			Align:    64,
+			Align:    frame.TileShots,
 		},
 		Mechanism: sweep.Mechanism{
 			Workers:   c.Workers,
@@ -320,11 +330,11 @@ type pointSpec struct {
 	phys   float64
 	ev     *noise.RadiationEvent
 	decode func(bits []int) int // nil selects the code's MWPM decoder
-	// decodeBatch is the word-parallel twin of decode for the batched
-	// engine; nil falls back to the code's DecodeBatch (when decode is
+	// decodeTile is the tile-parallel twin of decode for the batched
+	// engine; nil falls back to the code's DecodeTile (when decode is
 	// nil) or a lane-unpacking adapter around decode.
-	decodeBatch frame.BatchDecodeFunc
-	seed        uint64
+	decodeTile frame.TileDecodeFunc
+	seed       uint64
 }
 
 // engineFor resolves the configured engine for this spec through the
@@ -376,7 +386,10 @@ type specFingerprint struct {
 // fingerprint returns the point's content address under cfg. Specs
 // that override the decode function are still distinguished, because
 // every such spec carries the variant in its key (e.g. the
-// ablation-decoder rows).
+// ablation-decoder rows). The engine width is deliberately absent:
+// width never changes a point's counts or chunking (the tile
+// determinism contract, pinned by the cross-width tests), so results
+// computed at any width serve every width.
 func (s pointSpec) fingerprint(cfg Config) string {
 	fp := specFingerprint{
 		V:        fingerprintVersion,
@@ -389,7 +402,7 @@ func (s pointSpec) fingerprint(cfg Config) string {
 		Shots:    cfg.Shots,
 		CI:       cfg.CI,
 		MaxShots: cfg.MaxShots,
-		Align:    64,
+		Align:    frame.TileShots,
 	}
 	if s.ev != nil {
 		fp.Event = s.ev.Probs
@@ -414,12 +427,12 @@ func (s pointSpec) fingerprint(cfg Config) string {
 // batched engine decodes lane-for-lane identically to the scalar
 // ones); specs that set decode keep their override. shotWorkers caps
 // the campaign's internal shot parallelism.
-func (s pointSpec) point(engine, decoder string, shotWorkers int) sweep.Point {
+func (s pointSpec) point(engine, decoder, width string, shotWorkers int) sweep.Point {
 	eng := s.engineFor(engine)
 	return sweep.Point{
 		Key: s.key,
 		Prepare: func() sweep.BatchRunner {
-			decode, dec := s.decode, s.decodeBatch
+			decode, dec := s.decode, s.decodeTile
 			if decode == nil {
 				var err error
 				decode, dec, err = core.ResolveDecoder(decoder, s.prep.code)
@@ -427,9 +440,16 @@ func (s pointSpec) point(engine, decoder string, shotWorkers int) sweep.Point {
 					panic(fmt.Sprintf("exp: %v", err))
 				}
 			}
+			// Width resolves against this spec's routed circuit (specs in
+			// one campaign can carry different codes); unknown names panic
+			// like engineFor — the CLI and daemon validate first.
+			lanes, _, err := core.ResolveWidthRoute(width, s.prep.tr.Circuit)
+			if err != nil {
+				panic(fmt.Sprintf("exp: %v", err))
+			}
 			run := core.NewEngineRunner(eng, s.prep.tr.Circuit,
 				noise.NewDepolarizing(s.phys), s.ev, s.seed,
-				s.prep.code.ExpectedLogical(), decode, dec, shotWorkers)
+				s.prep.code.ExpectedLogical(), decode, dec, lanes, shotWorkers)
 			return func(start, n int) sweep.Counts {
 				shots, errors := run(start, n)
 				return sweep.Counts{Shots: shots, Errors: errors}
@@ -471,16 +491,23 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		if route, err := core.ResolveEngineRoute(cfg.Engine); err == nil {
-			tel.SetRoute(telemetry.Route{
+			r := telemetry.Route{
 				Requested: route.Requested,
 				Resolved:  route.Resolved,
 				Reason:    route.Reason,
-			})
+			}
+			// The campaign-level width signal resolves against the first
+			// spec's circuit (per-spec widths can differ; the signal
+			// reports the representative route, like Reason does).
+			if lanes, wr, err := core.ResolveWidthRoute(cfg.Width, specs[0].prep.tr.Circuit); err == nil {
+				r.Width, r.WidthReason = lanes, wr
+			}
+			tel.SetRoute(r)
 		}
 	}
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
-		points[i] = s.point(cfg.Engine, cfg.Decoder, shotWorkers)
+		points[i] = s.point(cfg.Engine, cfg.Decoder, cfg.Width, shotWorkers)
 		points[i].TailSensitive = cfg.TailSensitive
 		if cfg.Cache != nil {
 			points[i].Hash = s.fingerprint(cfg)

@@ -62,7 +62,7 @@ func Fig6(cfg Config) (*Table, error) {
 			specs = append(specs, p.spec(key+"/"+cfg.DecoderName(), cfg, ev, seed))
 			raw := p.spec(key+"/raw", cfg, ev, seed+1)
 			raw.decode = e.code.RawLogical
-			raw.decodeBatch = e.code.RawLogicalBatch
+			raw.decodeTile = e.code.RawLogicalTile
 			specs = append(specs, raw)
 		}
 	}

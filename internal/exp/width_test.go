@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"radqec/internal/core"
+	"radqec/internal/store"
+	"radqec/internal/sweep"
+	"radqec/internal/telemetry"
+)
+
+// TestFig5TablesWidthIndependent: the engine width is pure mechanism,
+// so the Figure 5 table is byte-identical at every explicit width and
+// under auto resolution. Shots is chosen so each point's fixed-mode cap
+// straddles a tile-aligned batch boundary plus a ragged word tail.
+func TestFig5TablesWidthIndependent(t *testing.T) {
+	base := Config{Shots: 600, Seed: 21, NS: 2}
+	ref, err := Fig5(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableText(t, ref)
+	for _, w := range core.Widths() {
+		cfg := base
+		cfg.Width = w
+		tab, err := Fig5(cfg)
+		if err != nil {
+			t.Fatalf("width %s: %v", w, err)
+		}
+		if got := tableText(t, tab); got != want {
+			t.Errorf("width %s diverged from default:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// TestFig6TablesWidthIndependent: the hypernode-median Figure 6
+// protocol — every used root, decoded and raw-readout specs — emits
+// byte-identical tables at 64, 256 and 512 lanes and under auto.
+func TestFig6TablesWidthIndependent(t *testing.T) {
+	base := Config{Shots: 600, Seed: 9}
+	ref, err := Fig6(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableText(t, ref)
+	for _, w := range core.Widths() {
+		cfg := base
+		cfg.Width = w
+		tab, err := Fig6(cfg)
+		if err != nil {
+			t.Fatalf("width %s: %v", w, err)
+		}
+		if got := tableText(t, tab); got != want {
+			t.Errorf("width %s diverged from default:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// TestStoreCrossWidthResume: batches checkpointed by a campaign running
+// at one width replay byte-identically under another, because policy
+// batches are tile-aligned at every width and shot streams live on the
+// absolute word grid.
+func TestStoreCrossWidthResume(t *testing.T) {
+	base := Config{Shots: 1024, Seed: 12345}
+	ref, err := Threshold(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableText(t, ref)
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cold := base
+	cold.Width = core.Width512
+	cold.Cache = st
+	if tab, err := Threshold(cold); err != nil {
+		t.Fatal(err)
+	} else if got := tableText(t, tab); got != want {
+		t.Fatalf("width-512 cold run diverged:\n%s\nvs\n%s", got, want)
+	}
+
+	warm := base
+	warm.Width = core.Width64
+	warm.Cache = st
+	var points, cached int
+	warm.OnPoint = func(r sweep.Result) {
+		points++
+		if r.Cached {
+			cached++
+		}
+	}
+	if tab, err := Threshold(warm); err != nil {
+		t.Fatal(err)
+	} else if got := tableText(t, tab); got != want {
+		t.Fatalf("width-64 warm run diverged from width-512 store:\n%s\nvs\n%s", got, want)
+	}
+	if points == 0 || cached != points {
+		t.Fatalf("warm cross-width run: %d/%d points cached", cached, points)
+	}
+}
+
+// TestRouteCarriesWidth: the campaign telemetry route records the
+// resolved engine width and the heuristic's rationale — the signal the
+// daemon's /metrics gauge and the CLI -stats line surface.
+func TestRouteCarriesWidth(t *testing.T) {
+	tel := telemetry.NewCampaign(1, "threshold")
+	cfg := Config{Shots: 64, Seed: 5, Telemetry: tel, Width: core.Width256}
+	if _, err := Threshold(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := tel.Route()
+	if r == nil {
+		t.Fatal("no route recorded")
+	}
+	if r.Width != 256 {
+		t.Fatalf("route width %d, want 256", r.Width)
+	}
+	if !strings.Contains(r.WidthReason, "explicit") {
+		t.Fatalf("explicit width reason %q does not say so", r.WidthReason)
+	}
+
+	tel = telemetry.NewCampaign(2, "threshold")
+	cfg = Config{Shots: 64, Seed: 5, Telemetry: tel}
+	if _, err := Threshold(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r = tel.Route()
+	if r == nil {
+		t.Fatal("no route recorded")
+	}
+	if r.Width != 512 {
+		t.Fatalf("auto width resolved to %d lanes, want 512 for every repo code", r.Width)
+	}
+	if !strings.Contains(r.WidthReason, "auto") {
+		t.Fatalf("auto width reason %q does not name the heuristic", r.WidthReason)
+	}
+}

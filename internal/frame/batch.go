@@ -67,34 +67,91 @@ func NewBatch(circ *circuit.Circuit, dep noise.Depolarizing, rad *noise.Radiatio
 	return NewBatchSimulator(New(circ, dep, rad, refSeed))
 }
 
-// BatchState is the reusable 64-lane frame and record state of one shot
-// word.
+// Tile geometry: the engine processes W-word tiles, W in {1, 4, 8},
+// i.e. 64, 256 or 512 shot lanes per kernel pass. Wider tiles amortise
+// the per-op dispatch over more lanes and give the compiler fixed-width
+// inner loops; the word→stream mapping is unchanged, so every width
+// produces bit-identical results (see BatchCampaign).
+const (
+	// MaxTileWords is the widest supported tile in 64-lane words.
+	MaxTileWords = 8
+	// TileShots is the widest tile's lane count — the batch alignment
+	// that keeps policy batches tile-shaped at every engine width.
+	TileShots = MaxTileWords * 64
+)
+
+// TileWidths lists the supported engine widths in lanes, narrowest
+// first.
+func TileWidths() []int { return []int{64, 256, 512} }
+
+// BatchState is the reusable frame and record state of one shot tile:
+// up to 64·w concurrent lanes stored as w-word qubit-major tiles.
 type BatchState struct {
-	x, z []uint64 // frame bit-planes, one word of 64 lanes per qubit
-	// Rec is the packed classical record: Rec[c] holds classical bit c
-	// of all 64 lanes.
+	// w is the current tile width in words — the stride of the planes.
+	w int
+	// nq and nc are the plane heights (qubits, clbits); capW is the
+	// allocated tile capacity in words.
+	nq, nc, capW int
+	// x and z are frame bit-planes: x[q·w+k] holds the X frame bit of
+	// qubit q for the 64 lanes of tile word k.
+	x, z []uint64
+	// Rec is the packed classical record: Rec[c·w+k] holds classical
+	// bit c of tile word k's 64 lanes. At width one this is exactly the
+	// legacy one-word-per-clbit layout.
 	Rec []uint64
 }
 
-// NewBatchState allocates lane state for the simulator's circuit.
-func (s *BatchSimulator) NewBatchState() *BatchState {
+// NewBatchState allocates single-word (64-lane) state for the
+// simulator's circuit.
+func (s *BatchSimulator) NewBatchState() *BatchState { return s.NewTileState(1) }
+
+// NewTileState allocates lane state for tiles of up to w words.
+func (s *BatchSimulator) NewTileState(w int) *BatchState {
+	if w < 1 {
+		w = 1
+	}
 	n := s.sim.circ.NumQubits
 	if n == 0 {
 		n = 1
 	}
-	return &BatchState{
-		x:   make([]uint64, n),
-		z:   make([]uint64, n),
-		Rec: make([]uint64, s.sim.circ.NumClbits),
-	}
+	st := &BatchState{nq: n, nc: s.sim.circ.NumClbits}
+	st.grow(w)
+	st.reshape(1)
+	return st
 }
+
+// grow reallocates the backing planes for tiles of up to w words.
+func (st *BatchState) grow(w int) {
+	st.capW = w
+	st.x = make([]uint64, st.nq*w)
+	st.z = make([]uint64, st.nq*w)
+	st.Rec = make([]uint64, st.nc*w)
+}
+
+// reshape sets the tile width (growing the planes if needed), reslices
+// the views to stride w, and zeroes them for the next tile.
+func (st *BatchState) reshape(w int) {
+	if w > st.capW {
+		st.grow(w)
+	}
+	st.w = w
+	st.x = st.x[: st.nq*w : cap(st.x)]
+	st.z = st.z[: st.nq*w : cap(st.z)]
+	st.Rec = st.Rec[: st.nc*w : cap(st.Rec)]
+	st.Clear()
+}
+
+// Width reports the current tile width in words.
+func (st *BatchState) Width() int { return st.w }
 
 // Record returns the packed classical bits of one register as a shared
 // subslice of the full record — e.g. one stabilization round's syndrome
 // words (a qec CRounds register), ready to be XOR-differenced against
 // the neighbouring round word-parallel for detection-event extraction.
+// At tile widths above one the subslice is the register's tile rows
+// (stride Width words per clbit).
 func (st *BatchState) Record(r circuit.Register) []uint64 {
-	return st.Rec[r.Start : r.Start+r.Size]
+	return st.Rec[r.Start*st.w : (r.Start+r.Size)*st.w]
 }
 
 // Clear zeroes the state for reuse.
@@ -110,139 +167,180 @@ func (st *BatchState) Clear() {
 
 // RunWord executes one word of 64 shots into st (cleared first). Every
 // lane owns statistically independent noise; all randomness is drawn
-// from src, so identical sources reproduce identical words.
+// from src, so identical sources reproduce identical words. It is
+// RunTile at width one.
 func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
-	st.Clear()
+	srcs := [1]*rng.Source{src}
+	s.RunTile(srcs[:], st)
+}
+
+// RunTile executes one tile of len(srcs) shot words (64·len(srcs)
+// lanes) into st, reshaping it to the tile width first. Tile word k
+// draws all of its randomness from srcs[k] in exactly the order RunWord
+// consumes a single stream, so a w-word tile is bit-for-bit the w
+// RunWord calls it replaces — engine width never changes results, only
+// how many lanes share one pass over the op list.
+func (s *BatchSimulator) RunTile(srcs []*rng.Source, st *BatchState) {
+	w := len(srcs)
+	st.reshape(w)
 	sim := s.sim
 	x, z := st.x, st.z
 	if sim.hasH {
 		// State preparation is a collapse point: every lane of every
 		// qubit draws its branch coin (see the package comment).
-		for q := range z {
-			z[q] = src.Uint64()
+		for q := 0; q < st.nq; q++ {
+			base := q * w
+			for k := 0; k < w; k++ {
+				z[base+k] = srcs[k].Uint64()
+			}
 		}
 	}
-	// nextErr is the absolute position of the next depolarizing error in
-	// the flattened (site, lane) bit-stream of numSites*64 positions.
+	// nextErr[k] is the absolute position of tile word k's next
+	// depolarizing error in the flattened (site, lane) bit-stream of
+	// numSites*64 positions.
 	p := sim.dep.P
-	var nextErr int64 = 1 << 62
-	switch {
-	case p >= 1:
-		nextErr = 0
-	case p > 0:
-		nextErr = noise.GeometricSkip(src, s.depInvLog)
+	var nextErr [MaxTileWords]int64
+	for k := 0; k < w; k++ {
+		switch {
+		case p >= 1:
+			nextErr[k] = 0
+		case p > 0:
+			nextErr[k] = noise.GeometricSkip(srcs[k], s.depInvLog)
+		default:
+			nextErr[k] = 1 << 62
+		}
 	}
 	for i, op := range sim.circ.Ops {
 		switch op.Kind {
 		case circuit.KindH:
-			q := op.Qubits[0]
-			x[q], z[q] = z[q], x[q]
+			q := op.Qubits[0] * w
+			tileSwap(x[q:q+w], z[q:q+w])
 		case circuit.KindS:
 			// S: X -> Y (adds a Z component); Z unchanged.
-			q := op.Qubits[0]
-			z[q] ^= x[q]
+			q := op.Qubits[0] * w
+			tileXor(z[q:q+w], x[q:q+w])
 		case circuit.KindX, circuit.KindY, circuit.KindZ:
 			// Deterministic circuit Paulis are part of the reference.
 		case circuit.KindCNOT:
-			c, t := op.Qubits[0], op.Qubits[1]
-			x[t] ^= x[c]
-			z[c] ^= z[t]
+			c, t := op.Qubits[0]*w, op.Qubits[1]*w
+			tileXor(x[t:t+w], x[c:c+w])
+			tileXor(z[c:c+w], z[t:t+w])
 		case circuit.KindCZ:
-			a, b := op.Qubits[0], op.Qubits[1]
-			z[b] ^= x[a]
-			z[a] ^= x[b]
+			a, b := op.Qubits[0]*w, op.Qubits[1]*w
+			tileXor(z[b:b+w], x[a:a+w])
+			tileXor(z[a:a+w], x[b:b+w])
 		case circuit.KindSWAP:
-			a, b := op.Qubits[0], op.Qubits[1]
-			x[a], x[b] = x[b], x[a]
-			z[a], z[b] = z[b], z[a]
+			a, b := op.Qubits[0]*w, op.Qubits[1]*w
+			tileSwap(x[a:a+w], x[b:b+w])
+			tileSwap(z[a:a+w], z[b:b+w])
 		case circuit.KindMeasure:
-			q := op.Qubits[0]
-			k := sim.ref.MeasIndex[i]
+			q := op.Qubits[0] * w
+			mi := sim.ref.MeasIndex[i]
 			ref := uint64(0)
-			if sim.ref.Record[k] == 1 {
+			if sim.ref.Record[mi] == 1 {
 				ref = ^uint64(0)
 			}
-			st.Rec[op.Clbit] = ref ^ x[q]
+			r := op.Clbit * w
+			tileFillXor(st.Rec[r:r+w], x[q:q+w], ref)
 			// Only a non-deterministic measurement collapses anything:
 			// its deviation phase is replaced by fresh branch coins.
 			// Measuring a Z eigenstate leaves the deviation untouched
 			// (see the scalar Run).
-			if sim.hasH && !sim.ref.Deterministic[k] {
-				z[q] = src.Uint64()
+			if sim.hasH && !sim.ref.Deterministic[mi] {
+				for k := 0; k < w; k++ {
+					z[q+k] = srcs[k].Uint64()
+				}
 			}
 		case circuit.KindReset:
-			q := op.Qubits[0]
-			x[q] = 0
-			z[q] = 0
+			q := op.Qubits[0] * w
+			tileZero(x[q : q+w])
+			tileZero(z[q : q+w])
 			if sim.hasH {
-				z[q] = src.Uint64()
+				for k := 0; k < w; k++ {
+					z[q+k] = srcs[k].Uint64()
+				}
 			}
 		case circuit.KindBarrier:
 			continue
 		}
-		// Intrinsic depolarizing noise: consume the error positions that
-		// fall inside this op's slice of the flattened site stream. The
-		// geometric gaps make error positions iid Bernoulli(P) over every
-		// (site, lane) bit, and the uniform 3-way type draw completes the
-		// X/Y/Z at P/3 channel of the scalar engines.
-		if p > 0 {
-			base := int64(s.siteBase[i]) << 6
-			end := base + int64(len(op.Qubits))<<6
-			for nextErr < end {
-				lane := uint(nextErr & 63)
-				q := op.Qubits[int(nextErr>>6)-s.siteBase[i]]
-				switch src.Intn(3) {
-				case 0: // X
-					x[q] ^= 1 << lane
-				case 1: // Y
-					x[q] ^= 1 << lane
-					z[q] ^= 1 << lane
-				default: // Z
-					z[q] ^= 1 << lane
-				}
-				if p >= 1 {
-					nextErr++
-				} else {
-					nextErr += 1 + noise.GeometricSkip(src, s.depInvLog)
-				}
-			}
+		// Noise is consumed per tile word so each word's stream sees
+		// exactly RunWord's draw order: this op's depolarizing errors,
+		// then its radiation coins.
+		hasRad := sim.refZ[i] != nil
+		if p == 0 && !hasRad {
+			continue
 		}
-		// Radiation reset faults, word-wide: the frame on fired lanes is
-		// erased and its X bit set from the recorded reference Z-value;
-		// superposed sites first inject the branch operator on a fair
-		// per-lane coin (see the scalar Run for the physics).
-		if sim.refZ[i] != nil {
-			for j, q := range op.Qubits {
-				pq := sim.rad.Probs[q]
-				if pq <= 0 {
-					continue
-				}
-				fire := src.Bernoulli64(pq)
-				if fire == 0 {
-					continue
-				}
-				switch sim.refZ[i][j] {
-				case -1: // reference holds |1>, actual pinned to |0>
-					x[q] &^= fire
-					z[q] &^= fire
-					x[q] |= fire
-				case 1:
-					x[q] &^= fire
-					z[q] &^= fire
-				case 0:
-					coin := fire & src.Uint64()
-					br := sim.branch[i][j]
-					for _, a := range br.xs {
-						x[a] ^= coin
+		for k := 0; k < w; k++ {
+			src := srcs[k]
+			// Intrinsic depolarizing noise: consume the error positions
+			// that fall inside this op's slice of the flattened site
+			// stream. The geometric gaps make error positions iid
+			// Bernoulli(P) over every (site, lane) bit, and the uniform
+			// 3-way type draw completes the X/Y/Z at P/3 channel of the
+			// scalar engines.
+			if p > 0 {
+				base := int64(s.siteBase[i]) << 6
+				end := base + int64(len(op.Qubits))<<6
+				ne := nextErr[k]
+				for ne < end {
+					lane := uint(ne & 63)
+					q := op.Qubits[int(ne>>6)-s.siteBase[i]]*w + k
+					switch src.Intn(3) {
+					case 0: // X
+						x[q] ^= 1 << lane
+					case 1: // Y
+						x[q] ^= 1 << lane
+						z[q] ^= 1 << lane
+					default: // Z
+						z[q] ^= 1 << lane
 					}
-					for _, a := range br.zs {
-						z[a] ^= coin
+					if p >= 1 {
+						ne++
+					} else {
+						ne += 1 + noise.GeometricSkip(src, s.depInvLog)
 					}
-					x[q] &^= fire
-					z[q] &^= fire
 				}
-				if sim.hasH {
-					z[q] |= fire & src.Uint64()
+				nextErr[k] = ne
+			}
+			// Radiation reset faults, word-wide: the frame on fired
+			// lanes is erased and its X bit set from the recorded
+			// reference Z-value; superposed sites first inject the
+			// branch operator on a fair per-lane coin (see the scalar
+			// Run for the physics).
+			if hasRad {
+				for j, qq := range op.Qubits {
+					pq := sim.rad.Probs[qq]
+					if pq <= 0 {
+						continue
+					}
+					fire := src.Bernoulli64(pq)
+					if fire == 0 {
+						continue
+					}
+					q := qq*w + k
+					switch sim.refZ[i][j] {
+					case -1: // reference holds |1>, actual pinned to |0>
+						x[q] &^= fire
+						z[q] &^= fire
+						x[q] |= fire
+					case 1:
+						x[q] &^= fire
+						z[q] &^= fire
+					case 0:
+						coin := fire & src.Uint64()
+						br := sim.branch[i][j]
+						for _, a := range br.xs {
+							x[a*w+k] ^= coin
+						}
+						for _, a := range br.zs {
+							z[a*w+k] ^= coin
+						}
+						x[q] &^= fire
+						z[q] &^= fire
+					}
+					if sim.hasH {
+						z[q] |= fire & src.Uint64()
+					}
 				}
 			}
 		}
@@ -253,6 +351,33 @@ func (s *BatchSimulator) RunWord(src *rng.Source, st *BatchState) {
 // of decoded logical values. Only lanes set in live carry meaningful
 // records; a decoder may leave dead lanes arbitrary.
 type BatchDecodeFunc func(rec []uint64, live uint64) uint64
+
+// TileDecodeFunc maps a w-word tile of packed classical records
+// (rec[c·w+k] holds classical bit c of tile word k) to per-word decoded
+// logical values: out[k] receives word k's decoded word, and only lanes
+// set in live[k] carry meaningful records. qec.(*Code).DecodeTile is
+// the word-parallel implementation; WordDecodeTile adapts a per-word
+// decoder.
+type TileDecodeFunc func(rec []uint64, w int, live, out []uint64)
+
+// WordDecodeTile lifts a per-word decoder onto tiles by re-slicing each
+// tile word's records into a scratch buffer — the compatibility path
+// for BatchDecodeFunc decoders that predate the tile layout.
+func WordDecodeTile(decode BatchDecodeFunc, numClbits int) TileDecodeFunc {
+	return func(rec []uint64, w int, live, out []uint64) {
+		if w == 1 {
+			out[0] = decode(rec, live[0])
+			return
+		}
+		scratch := make([]uint64, numClbits)
+		for k := 0; k < w; k++ {
+			for c := range scratch {
+				scratch[c] = rec[c*w+k]
+			}
+			out[k] = decode(scratch, live[k])
+		}
+	}
+}
 
 // LaneDecode lifts a scalar record decoder onto packed records by
 // unpacking each live lane. It is the compatibility path for decoders
@@ -273,6 +398,25 @@ func LaneDecode(decode func(bits []int) int, numClbits int) BatchDecodeFunc {
 	}
 }
 
+// LaneDecodeTile is LaneDecode over tiles: each live lane of each tile
+// word is unpacked through the scalar decoder.
+func LaneDecodeTile(decode func(bits []int) int, numClbits int) TileDecodeFunc {
+	return func(rec []uint64, w int, live, out []uint64) {
+		scratch := make([]int, numClbits)
+		for k := 0; k < w; k++ {
+			var o uint64
+			for m := live[k]; m != 0; m &= m - 1 {
+				lane := uint(bits.TrailingZeros64(m))
+				for i := range scratch {
+					scratch[i] = int(rec[i*w+k]>>lane) & 1
+				}
+				o |= uint64(decode(scratch)&1) << lane
+			}
+			out[k] = o
+		}
+	}
+}
+
 // batchSplitSalt decorrelates the batched engine's word streams from the
 // scalar engines' per-shot streams derived from the same campaign seed.
 const batchSplitSalt = 0xb5ad4eceda1ce2a9
@@ -281,26 +425,55 @@ const batchSplitSalt = 0xb5ad4eceda1ce2a9
 // engine. It honours the sweep.BatchRunner determinism contract at word
 // granularity: shot i always lives in lane i%64 of word i/64, and word w
 // always consumes the stream split(seed, salt^w), so results are
-// invariant under worker count and batch boundaries (word-straddling
-// batches re-run the word with disjoint live masks and merge exactly).
+// invariant under worker count, batch boundaries AND engine width
+// (word-straddling batches re-run the word with disjoint live masks and
+// merge exactly; a tile is just several words sharing one kernel pass,
+// each still on its own word stream, grouped on the absolute word grid).
 // The engine defines its own seed-to-stream mapping: rates are
 // statistically equivalent to, but not bit-identical with, the scalar
 // engines at the same seed.
 type BatchCampaign struct {
 	// Sim samples the shot words.
 	Sim *BatchSimulator
-	// DecodeBatch maps packed records to decoded logical values, e.g.
-	// qec.(*Code).DecodeBatch or a LaneDecode adapter.
+	// DecodeTile maps packed record tiles to decoded logical words,
+	// e.g. qec.(*Code).DecodeTile or a LaneDecodeTile adapter. When nil
+	// the campaign falls back to DecodeBatch at width one.
+	DecodeTile TileDecodeFunc
+	// DecodeBatch is the legacy per-word decoder, honoured (at width
+	// one) when DecodeTile is nil.
 	DecodeBatch BatchDecodeFunc
 	// Expected is the fault-free decoded output.
 	Expected int
 	// Workers caps parallel word runners; 0 means GOMAXPROCS.
 	Workers int
+	// Width is the engine width in lanes (64, 256 or 512); 0 means 64.
+	// Width is pure mechanism: it never changes results.
+	Width int
+
+	// statePool recycles worker tile states across RunFrom calls, so a
+	// campaign advanced chunk by chunk (the sweep engine's shape) pays
+	// its state allocation once, not once per chunk.
+	statePool sync.Pool
 }
 
 // Run executes shots shots deterministically (see RunFrom).
 func (c *BatchCampaign) Run(seed uint64, shots int) Result {
 	return c.RunFrom(seed, 0, shots)
+}
+
+// tileWords resolves the campaign's tile width in words.
+func (c *BatchCampaign) tileWords() int {
+	tw := c.Width / 64
+	if tw < 1 {
+		tw = 1
+	}
+	if tw > MaxTileWords {
+		tw = MaxTileWords
+	}
+	if c.DecodeTile == nil && c.DecodeBatch != nil {
+		tw = 1 // per-word decoders predate the tile layout
+	}
+	return tw
 }
 
 // RunFrom executes the shot range [start, start+shots). Partitioning a
@@ -312,13 +485,19 @@ func (c *BatchCampaign) RunFrom(seed uint64, start, shots int) Result {
 	}
 	firstWord := start >> 6
 	lastWord := (start + shots - 1) >> 6
-	words := lastWord - firstWord + 1
+	tw := c.tileWords()
+	// Tiles sit on the absolute word grid, so a tile's word membership —
+	// and therefore which words share a kernel pass — is independent of
+	// the range being run; edge tiles simply run narrow.
+	firstTile := firstWord / tw
+	lastTile := lastWord / tw
+	tiles := lastTile - firstTile + 1
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > words {
-		workers = words
+	if workers > tiles {
+		workers = tiles
 	}
 	expected := uint64(0)
 	if c.Expected&1 == 1 {
@@ -331,22 +510,54 @@ func (c *BatchCampaign) RunFrom(seed uint64, start, shots int) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := c.Sim.NewBatchState()
+			st, _ := c.statePool.Get().(*BatchState)
+			if st == nil {
+				st = c.Sim.NewTileState(tw)
+			}
+			defer c.statePool.Put(st)
+			// Per-word RNG streams are pooled: SplitInto re-derives each
+			// word's stream into a fixed Source, so the steady-state
+			// loop allocates nothing.
+			var streams [MaxTileWords]rng.Source
+			var srcs [MaxTileWords]*rng.Source
+			for k := range srcs {
+				srcs[k] = &streams[k]
+			}
+			var live, out [MaxTileWords]uint64
 			local := Result{}
-			for word := firstWord + w; word <= lastWord; word += workers {
-				live := ^uint64(0)
-				if word == firstWord {
-					live &= ^uint64(0) << uint(start&63)
+			for tile := firstTile + w; tile <= lastTile; tile += workers {
+				w0 := tile * tw
+				w1 := w0 + tw - 1
+				if w0 < firstWord {
+					w0 = firstWord
 				}
-				if word == lastWord {
-					endLane := uint((start + shots - 1) & 63)
-					live &= ^uint64(0) >> (63 - endLane)
+				if w1 > lastWord {
+					w1 = lastWord
 				}
-				src := master.Split(batchSplitSalt ^ uint64(word))
-				c.Sim.RunWord(src, st)
-				decoded := c.DecodeBatch(st.Rec, live)
-				local.Shots += bits.OnesCount64(live)
-				local.Errors += bits.OnesCount64((decoded ^ expected) & live)
+				wc := w1 - w0 + 1
+				for k := 0; k < wc; k++ {
+					word := w0 + k
+					lv := ^uint64(0)
+					if word == firstWord {
+						lv &= ^uint64(0) << uint(start&63)
+					}
+					if word == lastWord {
+						endLane := uint((start + shots - 1) & 63)
+						lv &= ^uint64(0) >> (63 - endLane)
+					}
+					live[k] = lv
+					master.SplitInto(batchSplitSalt^uint64(word), &streams[k])
+				}
+				c.Sim.RunTile(srcs[:wc], st)
+				if c.DecodeTile != nil {
+					c.DecodeTile(st.Rec, wc, live[:wc], out[:wc])
+				} else {
+					out[0] = c.DecodeBatch(st.Rec, live[0])
+				}
+				for k := 0; k < wc; k++ {
+					local.Shots += bits.OnesCount64(live[k])
+					local.Errors += bits.OnesCount64((out[k] ^ expected) & live[k])
+				}
 			}
 			results[w] = local
 		}(w)

@@ -1,0 +1,127 @@
+package frame
+
+import (
+	"testing"
+
+	"radqec/internal/arch"
+	"radqec/internal/noise"
+	"radqec/internal/qec"
+	"radqec/internal/rng"
+)
+
+// tileCampaign builds a batched repetition-code campaign wired through
+// the tile decoder at the given engine width (radiation strike plus
+// depolarizing noise, frame-exact).
+func tileCampaign(t testing.TB, d int, p float64, width int) *BatchCampaign {
+	t.Helper()
+	code, err := qec.NewRepetition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := (2*d + 4) / 5
+	tr, err := arch.Transpile(code.Circ, arch.Mesh(5, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := tr.Topo.Graph.AllPairsShortestPaths()
+	ev := noise.NewRadiationEvent(dist[2], 1.0, true)
+	sim := New(tr.Circuit, noise.NewDepolarizing(p), ev, 3)
+	return &BatchCampaign{
+		Sim:        NewBatchSimulator(sim),
+		DecodeTile: code.DecodeTile,
+		Expected:   code.ExpectedLogical(),
+		Width:      width,
+	}
+}
+
+// TestTileWidthResultsInvariant pins the tentpole determinism contract:
+// engine width is pure mechanism, so the same campaign produces the
+// exact same Result at 64, 256 and 512 lanes — including shot counts
+// that straddle word and tile boundaries, and the legacy per-word
+// decoder path (which forces width one regardless of the request).
+func TestTileWidthResultsInvariant(t *testing.T) {
+	const seed, shots = 11, 1337 // 20 full words + 57 lanes; straddles tiles at every width
+	ref := tileCampaign(t, 5, 0.01, 64).Run(seed, shots)
+	if ref.Shots != shots {
+		t.Fatalf("reference ran %d shots, want %d", ref.Shots, shots)
+	}
+	for _, width := range TileWidths() {
+		if got := tileCampaign(t, 5, 0.01, width).Run(seed, shots); got != ref {
+			t.Errorf("width %d: %+v, want %+v", width, got, ref)
+		}
+	}
+	// Legacy per-word decoder under a wide width request: tileWords
+	// clamps to one word and the results still match.
+	legacy := tileCampaign(t, 5, 0.01, 512)
+	code, err := qec.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.DecodeTile = nil
+	legacy.DecodeBatch = code.DecodeBatch
+	if got := legacy.Run(seed, shots); got != ref {
+		t.Errorf("legacy word decoder at width 512: %+v, want %+v", got, ref)
+	}
+}
+
+// TestTileRunFromSplitsMerge: partitioning a campaign into RunFrom
+// ranges — mid-word, word-aligned, mid-tile and tile-aligned cuts —
+// merges to exactly the uninterrupted Run at every engine width. This
+// is the resume contract the sweep engine's checkpointing relies on.
+func TestTileRunFromSplitsMerge(t *testing.T) {
+	const seed, shots = 17, 1337
+	for _, width := range TileWidths() {
+		c := tileCampaign(t, 5, 0.01, width)
+		ref := c.Run(seed, shots)
+		for _, cut := range []int{1, 63, 64, 100, 512, 600, 1024, 1336} {
+			a := c.RunFrom(seed, 0, cut)
+			b := c.RunFrom(seed, cut, shots-cut)
+			got := Result{Shots: a.Shots + b.Shots, Errors: a.Errors + b.Errors}
+			if got != ref {
+				t.Errorf("width %d cut %d: %+v, want %+v", width, cut, got, ref)
+			}
+		}
+	}
+}
+
+// TestTileSteadyStateZeroAlloc is the zero-allocation acceptance guard:
+// once the per-worker state, RNG streams and syndrome memo are warm, a
+// full tile pass — stream re-derivation, RunTile and DecodeTile — must
+// not allocate. The same guard covers the width-one RunWord→DecodeBatch
+// path, which shares the machinery.
+func TestTileSteadyStateZeroAlloc(t *testing.T) {
+	c := tileCampaign(t, 5, 0.01, TileShots)
+	const tw = MaxTileWords
+	st := c.Sim.NewTileState(tw)
+	var streams [MaxTileWords]rng.Source
+	var srcs [MaxTileWords]*rng.Source
+	for k := range srcs {
+		srcs[k] = &streams[k]
+	}
+	var live, out [MaxTileWords]uint64
+	for k := 0; k < tw; k++ {
+		live[k] = ^uint64(0)
+	}
+	master := rng.New(29)
+	tile := func() {
+		for k := 0; k < tw; k++ {
+			master.SplitInto(batchSplitSalt^uint64(k), &streams[k])
+		}
+		c.Sim.RunTile(srcs[:tw], st)
+		c.DecodeTile(st.Rec, tw, live[:tw], out[:tw])
+	}
+	tile() // warm: pooled scratch grown, memo populated for these streams
+	if n := testing.AllocsPerRun(50, tile); n > 0 {
+		t.Errorf("steady-state tile pass allocates %.1f times per run, want 0", n)
+	}
+
+	word := func() {
+		master.SplitInto(batchSplitSalt^uint64(1), &streams[0])
+		c.Sim.RunWord(&streams[0], st)
+		c.DecodeTile(st.Rec, 1, live[:1], out[:1])
+	}
+	word()
+	if n := testing.AllocsPerRun(50, word); n > 0 {
+		t.Errorf("steady-state word pass allocates %.1f times per run, want 0", n)
+	}
+}

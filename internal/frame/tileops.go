@@ -1,0 +1,40 @@
+//go:build !amd64.v3
+
+package frame
+
+// Tile micro-kernels: the word-wide inner loops every Clifford gate of
+// RunTile reduces to. Each operates on one qubit's tile row (len 1, 4
+// or 8 words). This is the portable variant; tileops_amd64v3.go carries
+// the GOAMD64=v3 build's fixed-width unrolled twins, which convert the
+// hot 8-word rows to array pointers so the inner loops are gather-free
+// and bounds-check-free. The two variants are semantically identical —
+// the cross-width determinism tests hold under either build.
+
+// tileXor XORs src into dst (dst ^= src), len(dst) == len(src).
+func tileXor(dst, src []uint64) {
+	for k := range dst {
+		dst[k] ^= src[k]
+	}
+}
+
+// tileSwap exchanges a and b element-wise.
+func tileSwap(a, b []uint64) {
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// tileZero clears t.
+func tileZero(t []uint64) {
+	for k := range t {
+		t[k] = 0
+	}
+}
+
+// tileFillXor stores ref^src into dst (a measurement's packed record
+// row from the reference bit and the X frame plane).
+func tileFillXor(dst, src []uint64, ref uint64) {
+	for k := range dst {
+		dst[k] = ref ^ src[k]
+	}
+}

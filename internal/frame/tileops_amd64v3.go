@@ -1,0 +1,67 @@
+//go:build amd64.v3
+
+package frame
+
+// GOAMD64=v3 tile micro-kernels: the widest (8-word, 512-lane) tile
+// rows are accessed through array pointers, so each loop is a fixed
+// eight-iteration, bounds-check-free pass over contiguous words — the
+// shape the v3 codegen turns into straight-line 256-bit loads/stores
+// with no gathers. Narrower rows take the portable loop. Semantics are
+// identical to tileops.go; the cross-width determinism tests pin that.
+
+// tileXor XORs src into dst (dst ^= src), len(dst) == len(src).
+func tileXor(dst, src []uint64) {
+	if len(dst) == MaxTileWords && len(src) == MaxTileWords {
+		d := (*[MaxTileWords]uint64)(dst)
+		s := (*[MaxTileWords]uint64)(src)
+		for k := range d {
+			d[k] ^= s[k]
+		}
+		return
+	}
+	for k := range dst {
+		dst[k] ^= src[k]
+	}
+}
+
+// tileSwap exchanges a and b element-wise.
+func tileSwap(a, b []uint64) {
+	if len(a) == MaxTileWords && len(b) == MaxTileWords {
+		x := (*[MaxTileWords]uint64)(a)
+		y := (*[MaxTileWords]uint64)(b)
+		for k := range x {
+			x[k], y[k] = y[k], x[k]
+		}
+		return
+	}
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// tileZero clears t.
+func tileZero(t []uint64) {
+	if len(t) == MaxTileWords {
+		clear((*[MaxTileWords]uint64)(t)[:])
+		return
+	}
+	for k := range t {
+		t[k] = 0
+	}
+}
+
+// tileFillXor stores ref^src into dst (a measurement's packed record
+// row from the reference bit and the X frame plane).
+func tileFillXor(dst, src []uint64, ref uint64) {
+	if len(dst) == MaxTileWords && len(src) == MaxTileWords {
+		d := (*[MaxTileWords]uint64)(dst)
+		s := (*[MaxTileWords]uint64)(src)
+		for k := range d {
+			d[k] = ref ^ s[k]
+		}
+		return
+	}
+	for k := range dst {
+		dst[k] = ref ^ src[k]
+	}
+}

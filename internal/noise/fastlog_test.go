@@ -1,0 +1,35 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"radqec/internal/rng"
+)
+
+// fastLog must track math.Log to ~1e-9 relative accuracy over the full
+// (0, 1] range GeometricSkip feeds it, including the extremes of the
+// uniform draw 1 - Float64().
+func TestFastLogMatchesMathLog(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		got, want := fastLog(x), math.Log(x)
+		tol := 1e-9 * math.Abs(want)
+		if tol < 1e-12 {
+			tol = 1e-12
+		}
+		if math.Abs(got-want) > tol {
+			t.Fatalf("fastLog(%g) = %g, want %g (diff %g)", x, got, want, got-want)
+		}
+	}
+	check(1)
+	check(0x1p-53) // smallest 1 - Float64()
+	check(1 - 0x1p-53)
+	src := rng.New(99)
+	for i := 0; i < 100000; i++ {
+		check(1 - src.Float64())
+	}
+	for x := 1e-300; x < 1; x *= 10 {
+		check(x)
+	}
+}

@@ -68,7 +68,7 @@ const skipThreshold = 0.25
 // cannot overflow position arithmetic.
 func GeometricSkip(src *rng.Source, invLog1mP float64) int64 {
 	u := 1 - src.Float64() // (0, 1]
-	k := math.Log(u) * invLog1mP
+	k := fastLog(u) * invLog1mP
 	if !(k < 1<<62) { // catches NaN and +Inf too
 		return 1 << 62
 	}

@@ -2,15 +2,8 @@ package qec
 
 import (
 	mathbits "math/bits"
+	"sync"
 )
-
-// batchCacheCap bounds the per-code syndrome memos so adversarial
-// workloads (huge codes under saturating faults) cannot grow them
-// without bound; beyond the cap lanes fall back to decoding directly.
-const batchCacheCap = 1 << 16
-
-// memoKey packs a space-time defect pattern of up to 128 detector bits.
-type memoKey [2]uint64
 
 // DecodeBatch is the word-parallel counterpart of Decode: rec is a
 // bit-packed classical record where rec[c] holds classical bit c of 64
@@ -31,9 +24,9 @@ type memoKey [2]uint64
 //     logical support, a pure function of the defect pattern. When the
 //     pattern fits in 128 bits (the whole 2-round family and memory
 //     campaigns out to stabs·(rounds+1) <= 128) the blossom result is
-//     memoised per syndrome in a lock-free map, so repeated syndromes —
-//     the norm under a localised strike — cost a lookup instead of a
-//     matching.
+//     memoised in a lock-free, allocation-free open-addressed table,
+//     so repeated syndromes — the norm under a localised strike — cost
+//     a probe instead of a matching.
 //  3. Only novel syndromes run the scalar blossom matcher over the
 //     compiled detector-error model, reusing the already-extracted
 //     defect words instead of re-deriving events from scalar bits.
@@ -42,9 +35,10 @@ type memoKey [2]uint64
 // (the memo stores Decode's own matching, so even tie-broken matchings
 // agree bit for bit).
 func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
-	return c.decodeBatch(rec, live, c.mwpmMemo, func(defects []defect) uint64 {
-		return c.flipParity(c.matchDefects(defects))
-	})
+	var liveT, outT [1]uint64
+	liveT[0] = live
+	c.DecodeTile(rec, 1, liveT[:], outT[:])
+	return outT[0]
 }
 
 // DecodeUnionFindBatch is the word-parallel counterpart of
@@ -53,8 +47,30 @@ func (c *Code) DecodeBatch(rec []uint64, live uint64) uint64 {
 // place of the blossom matcher on novel syndromes. Lane l of the result
 // always equals DecodeUnionFind of lane l's unpacked record.
 func (c *Code) DecodeUnionFindBatch(rec []uint64, live uint64) uint64 {
+	var liveT, outT [1]uint64
+	liveT[0] = live
+	c.DecodeUnionFindTile(rec, 1, liveT[:], outT[:])
+	return outT[0]
+}
+
+// DecodeTile is DecodeBatch over a w-word tile consumed in one call,
+// with no per-word re-slicing: rec[c·w+k] holds classical bit c of tile
+// word k (64·w lanes total), live[k] masks word k's live lanes, and
+// out[k] receives word k's decoded logical word. All three tiers of
+// DecodeBatch run tile-wide; the steady state allocates nothing (the
+// extraction scratch is pooled, the syndrome memo is allocation-free).
+// Word k of out always equals DecodeBatch of word k's re-sliced record.
+func (c *Code) DecodeTile(rec []uint64, w int, live, out []uint64) {
+	c.decodeTile(rec, w, live, out, c.mwpmMemo, func(defects []defect) uint64 {
+		return c.flipParity(c.matchDefects(defects))
+	})
+}
+
+// DecodeUnionFindTile is DecodeUnionFindBatch over a w-word tile; see
+// DecodeTile for the tile layout.
+func (c *Code) DecodeUnionFindTile(rec []uint64, w int, live, out []uint64) {
 	m := c.DEM()
-	return c.decodeBatch(rec, live, c.ufMemo, func(defects []defect) uint64 {
+	c.decodeTile(rec, w, live, out, c.ufMemo, func(defects []defect) uint64 {
 		return c.flipParity(ufDecode(m, defects, c.Data.Size))
 	})
 }
@@ -87,114 +103,177 @@ func (c *Code) DetectionEventWords(rec []uint64, dst []uint64) ([]uint64, uint64
 		dst = make([]uint64, nz*layers)
 	}
 	dst = dst[:nz*layers]
-	var any uint64
-	for s, datas := range c.zStabData {
-		prev := uint64(0)
-		for r, creg := range c.CRounds {
-			cur := rec[creg.Start+s]
-			d := prev ^ cur
-			dst[s*layers+r] = d
-			any |= d
-			prev = cur
-		}
-		final := uint64(0)
-		for _, dq := range datas {
-			final ^= rec[c.DataRead.Start+dq]
-		}
-		d := prev ^ final
-		dst[s*layers+layers-1] = d
-		any |= d
-	}
-	return dst, any
+	var anyT [1]uint64
+	c.detectionEventTile(rec, 1, dst, anyT[:])
+	return dst, anyT[0]
 }
 
-// decodeBatch is the decoder-agnostic word-parallel core shared by
-// DecodeBatch and DecodeUnionFindBatch: tiered extraction + memoisation
+// detectionEventTile fills dst[(s·layers+r)·w+k] with the layer-r
+// detection word of Z stabilizer s for tile word k, and ORs word k's
+// detection words into anyw[k].
+func (c *Code) detectionEventTile(rec []uint64, w int, dst, anyw []uint64) {
+	layers := len(c.CRounds) + 1
+	for s, datas := range c.zStabData {
+		row := s * layers
+		for k := 0; k < w; k++ {
+			prev := uint64(0)
+			a := anyw[k]
+			for r, creg := range c.CRounds {
+				cur := rec[(creg.Start+s)*w+k]
+				d := prev ^ cur
+				dst[(row+r)*w+k] = d
+				a |= d
+				prev = cur
+			}
+			final := uint64(0)
+			for _, dq := range datas {
+				final ^= rec[(c.DataRead.Start+dq)*w+k]
+			}
+			d := prev ^ final
+			dst[(row+layers-1)*w+k] = d
+			anyw[k] = a | d
+		}
+	}
+}
+
+// frontSize sizes decodeBuf's direct-mapped front cache (a power of
+// two). 256 entries cover the working set of repeated syndromes under a
+// localised strike while keeping the arrays L1-resident (8 KiB).
+const frontSize = 256
+
+// decodeBuf is the pooled scratch of one decodeTile call: the extracted
+// detection-event tile, the per-word defect accumulator masks, and the
+// defect list handed to the matcher. One pool serves every code — the
+// slices grow to the largest tile decoded and are reused verbatim.
+//
+// The front arrays are a goroutine-private direct-mapped cache in front
+// of the shared parityMemo: while a buf is checked out its owner probes
+// and fills them with plain loads and stores, so the hot repeated
+// syndromes of a steady campaign skip the memo's atomic probe entirely.
+// Entries are tagged with the memo generation they came from
+// (frontGen[i] == 0 means empty), so a buf that migrates between codes,
+// decoders or SetPrior epochs mismatches instead of aliasing.
+type decodeBuf struct {
+	events  []uint64
+	anyw    []uint64
+	defects []defect
+
+	frontGen [frontSize]uint64
+	frontK0  [frontSize]uint64
+	frontK1  [frontSize]uint64
+	frontVal [frontSize]uint64
+}
+
+var decodeBufPool = sync.Pool{New: func() any { return new(decodeBuf) }}
+
+// grow returns b.events and b.anyw sized for an n-word event tile over
+// w tile words, zeroing anyw (events are fully overwritten).
+func (b *decodeBuf) grow(n, w int) (events, anyw []uint64) {
+	if cap(b.events) < n {
+		b.events = make([]uint64, n)
+	}
+	if cap(b.anyw) < w {
+		b.anyw = make([]uint64, w)
+	}
+	b.events = b.events[:n]
+	b.anyw = b.anyw[:w]
+	for k := range b.anyw {
+		b.anyw[k] = 0
+	}
+	return b.events, b.anyw
+}
+
+// decodeTile is the decoder-agnostic tile-parallel core shared by
+// DecodeTile and DecodeUnionFindTile: tiered extraction + memoisation
 // around a flip-parity oracle evaluated only on novel defect patterns.
-func (c *Code) decodeBatch(rec []uint64, live uint64, memo *batchMemo,
-	parityOf func(defects []defect) uint64) uint64 {
+func (c *Code) decodeTile(rec []uint64, w int, live, out []uint64, memo *parityMemo,
+	parityOf func(defects []defect) uint64) {
 	layers := len(c.CRounds) + 1
 	nz := len(c.zStabData)
 	// Uncorrected logical parity of every lane: the fast-path answer.
-	var logical uint64
+	for k := 0; k < w; k++ {
+		out[k] = 0
+	}
 	for _, d := range c.logicalZ {
-		logical ^= rec[c.DataRead.Start+d]
+		base := (c.DataRead.Start + d) * w
+		for k := 0; k < w; k++ {
+			out[k] ^= rec[base+k]
+		}
 	}
 	if nz == 0 {
-		return logical
+		return
 	}
-	// Word-parallel detection events, mirroring detectionEvents exactly.
-	defectWords, anyDefect := c.DetectionEventWords(rec, nil)
-	slow := anyDefect & live
-	if slow == 0 {
-		return logical
-	}
-	// Key width is fixed per code, so the two key shapes never mix in
-	// one memo: up to 64 detector bits use a bare uint64 (the cheaper
-	// boxing and hash on the 2-round hot path), up to 128 the two-word
+	buf := decodeBufPool.Get().(*decodeBuf)
+	defectWords, anyw := buf.grow(nz*layers*w, w)
+	c.detectionEventTile(rec, w, defectWords, anyw)
+	// Key width is fixed per code: up to 64 detector bits fill only the
+	// low key word (the 2-round hot path), up to 128 both words of the
 	// key that keeps memory-depth campaigns cached.
 	nbits := nz * layers
-	cache64 := nbits <= 64
-	cache128 := !cache64 && nbits <= 128
-	cacheable := cache64 || cache128
-	var defects []defect
-	for m := slow; m != 0; m &= m - 1 {
-		lane := uint(mathbits.TrailingZeros64(m))
-		mask := uint64(1) << lane
-		var key any
-		if cache64 {
-			var k uint64
-			for i, w := range defectWords {
-				k |= ((w >> lane) & 1) << uint(i)
-			}
-			key = k
-		} else if cache128 {
-			var k memoKey
-			for i, w := range defectWords {
-				k[i>>6] |= ((w >> lane) & 1) << uint(i&63)
-			}
-			key = k
-		}
-		if cacheable {
-			if v, ok := memo.m.Load(key); ok {
-				logical ^= v.(uint64) << lane
-				continue
-			}
-		}
-		// Defects in detectionEvents order (stabilizer-major, layer
-		// minor) so the correction — and therefore the decoded value —
-		// is bit-identical to the scalar decoder on the unpacked record.
-		defects = defects[:0]
-		for s := 0; s < nz; s++ {
-			for r := 0; r < layers; r++ {
-				if defectWords[s*layers+r]&mask != 0 {
-					defects = append(defects, defect{s, r})
+	cacheable := nbits <= 128
+	defects := buf.defects
+	for k := 0; k < w; k++ {
+		slow := anyw[k] & live[k]
+		for m := slow; m != 0; m &= m - 1 {
+			lane := uint(mathbits.TrailingZeros64(m))
+			mask := uint64(1) << lane
+			var k0, k1, h uint64
+			fi := 0
+			if cacheable {
+				for i := 0; i < nbits; i++ {
+					bit := (defectWords[i*w+k] >> lane) & 1
+					if i < 64 {
+						k0 |= bit << uint(i)
+					} else {
+						k1 |= bit << uint(i-64)
+					}
+				}
+				h = memoHash(k0, k1)
+				fi = int(h & (frontSize - 1))
+				if buf.frontGen[fi] == memo.gen && buf.frontK0[fi] == k0 && buf.frontK1[fi] == k1 {
+					out[k] ^= buf.frontVal[fi] << lane
+					continue
+				}
+				if v, ok := memo.load(h, k0, k1); ok {
+					buf.frontGen[fi], buf.frontK0[fi], buf.frontK1[fi], buf.frontVal[fi] = memo.gen, k0, k1, v
+					out[k] ^= v << lane
+					continue
 				}
 			}
-		}
-		flipParity := parityOf(defects)
-		// Reserve a slot before inserting so the map can never exceed
-		// the cap even when workers race past it; the reservation is
-		// released when it loses (cap hit, or another worker stored the
-		// same key first).
-		if cacheable {
-			if memo.size.Add(1) <= batchCacheCap {
-				if _, loaded := memo.m.LoadOrStore(key, flipParity); loaded {
-					memo.size.Add(-1)
+			// Defects in detectionEvents order (stabilizer-major, layer
+			// minor) so the correction — and therefore the decoded value —
+			// is bit-identical to the scalar decoder on the unpacked
+			// record.
+			defects = defects[:0]
+			for s := 0; s < nz; s++ {
+				for r := 0; r < layers; r++ {
+					if defectWords[(s*layers+r)*w+k]&mask != 0 {
+						defects = append(defects, defect{s, r})
+					}
 				}
-			} else {
-				memo.size.Add(-1)
 			}
+			flipParity := parityOf(defects)
+			if cacheable {
+				memo.store(h, k0, k1, flipParity)
+				buf.frontGen[fi], buf.frontK0[fi], buf.frontK1[fi], buf.frontVal[fi] = memo.gen, k0, k1, flipParity
+			}
+			out[k] ^= flipParity << lane
 		}
-		logical ^= flipParity << lane
 	}
-	return logical
+	buf.defects = defects
+	decodeBufPool.Put(buf)
 }
 
 // RawLogicalBatch is the word-parallel RawLogical: the packed
 // uncorrected ancilla readout of all 64 lanes.
 func (c *Code) RawLogicalBatch(rec []uint64, live uint64) uint64 {
 	return rec[c.AncRead.Start]
+}
+
+// RawLogicalTile is RawLogicalBatch over a w-word tile; see DecodeTile
+// for the tile layout.
+func (c *Code) RawLogicalTile(rec []uint64, w int, live, out []uint64) {
+	copy(out[:w], rec[c.AncRead.Start*w:c.AncRead.Start*w+w])
 }
 
 // batchMemoEntries reports the current MWPM syndrome-memo population

@@ -67,14 +67,8 @@ type Code struct {
 	// are shared by every campaign decoding this code, and SetPrior
 	// replaces them (cached parities belong to the compiled model). See
 	// DecodeBatch and DecodeUnionFindBatch.
-	mwpmMemo *batchMemo
-	ufMemo   *batchMemo
-}
-
-// batchMemo is a bounded lock-free syndrome-to-flip-parity cache.
-type batchMemo struct {
-	m    sync.Map // uint64 -> uint64 (flip parity)
-	size atomic.Int64
+	mwpmMemo *parityMemo
+	ufMemo   *parityMemo
 }
 
 // NumQubits returns the total number of physical qubits in the circuit.
@@ -138,8 +132,8 @@ func (c *Code) stabRound(creg circuit.Register) {
 // transversal X, which is applied between the first and second round
 // exactly as in the paper's protocol.
 func (c *Code) finishCircuit(logicalXSupport []int) {
-	c.mwpmMemo = &batchMemo{}
-	c.ufMemo = &batchMemo{}
+	c.mwpmMemo = newParityMemo()
+	c.ufMemo = newParityMemo()
 	circ := c.Circ
 	c.stabRound(c.CRounds[0])
 	circ.Barrier()

@@ -56,8 +56,8 @@ func (c *Code) SetPrior(pr dem.Prior) error {
 	}
 	c.prior = pr
 	c.dm.Store(m)
-	c.mwpmMemo = &batchMemo{}
-	c.ufMemo = &batchMemo{}
+	c.mwpmMemo = newParityMemo()
+	c.ufMemo = newParityMemo()
 	return nil
 }
 

@@ -1,0 +1,132 @@
+package qec
+
+import "sync/atomic"
+
+// The syndrome memo used to be a sync.Map keyed by boxed uint64/[2]uint64
+// values, which cost one interface allocation and a runtime hash per
+// decoded lane — the dominant term of the batch-decode hot path once
+// detection-event extraction went word-parallel. parityMemo replaces it
+// with a fixed-size open-addressed table of 128-bit keys that is
+// allocation-free on both lookup and insert.
+const (
+	// memoSlotBits sizes the table; with the 3/4 load cap below the
+	// entry capacity stays close to the old batchCacheCap while linear
+	// probes stay short.
+	memoSlotBits = 15
+	memoSlots    = 1 << memoSlotBits
+	// memoProbeCap bounds a probe sequence; a key that cannot find a
+	// home within it is simply not cached (the decode still runs, it
+	// just is not memoised), mirroring the old cap fallback.
+	memoProbeCap = 32
+	// memoEntryCap is the insert cap: beyond it adversarial workloads
+	// (huge codes under saturating faults) fall back to decoding
+	// directly instead of growing the table's effective load factor.
+	memoEntryCap = memoSlots * 3 / 4
+)
+
+// memoSlot is one table entry. state moves 0 (empty) -> 1 (writing) ->
+// 2 (ready) and never backwards; the key and parity fields are written
+// only between the 0->1 claim and the release store of 2, so a reader
+// that acquire-loads state 2 observes them fully written and immutable.
+type memoSlot struct {
+	state  atomic.Uint32
+	parity uint32
+	k0, k1 uint64
+}
+
+// parityMemo is a bounded lock-free syndrome-to-flip-parity cache. The
+// table is allocated lazily on first insert, so the many Code values
+// tests construct but never batch-decode cost four words, not a
+// megabyte.
+type parityMemo struct {
+	slots atomic.Pointer[[memoSlots]memoSlot]
+	size  atomic.Int64
+	// gen is this memo's process-unique identity, tagged onto front-cache
+	// entries (see decodeBuf) so an entry can never outlive or alias its
+	// memo — not even across a SetPrior swap or a recycled allocation.
+	gen uint64
+}
+
+// memoGen feeds newParityMemo's identities; it starts handing out at 1
+// so the zero generation never matches a memo.
+var memoGen atomic.Uint64
+
+// newParityMemo builds an empty memo with a fresh identity.
+func newParityMemo() *parityMemo {
+	return &parityMemo{gen: memoGen.Add(1)}
+}
+
+// memoHash mixes a 128-bit defect pattern into a table index
+// (SplitMix64 finaliser over the folded words).
+func memoHash(k0, k1 uint64) uint64 {
+	x := k0 ^ (k1 * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// load returns the cached flip parity of the defect pattern (k0, k1).
+// h must be memoHash(k0, k1); callers share one hash across the front
+// cache, the probe and the insert.
+func (m *parityMemo) load(h, k0, k1 uint64) (uint64, bool) {
+	t := m.slots.Load()
+	if t == nil {
+		return 0, false
+	}
+	for i := uint64(0); i < memoProbeCap; i++ {
+		s := &t[(h+i)&(memoSlots-1)]
+		switch s.state.Load() {
+		case 0:
+			// An insert claims the first empty slot of its probe
+			// sequence, so an empty slot proves the key is absent.
+			return 0, false
+		case 2:
+			if s.k0 == k0 && s.k1 == k1 {
+				return uint64(s.parity), true
+			}
+		}
+		// state 1 (mid-write) or a different key: keep probing.
+	}
+	return 0, false
+}
+
+// store caches the flip parity of the defect pattern (k0, k1). Losing a
+// claim race, hitting the entry cap or exhausting the probe budget just
+// skips the insert — correctness never depends on a store landing. h
+// must be memoHash(k0, k1).
+func (m *parityMemo) store(h, k0, k1, parity uint64) {
+	if m.size.Load() >= memoEntryCap {
+		return
+	}
+	t := m.slots.Load()
+	if t == nil {
+		fresh := new([memoSlots]memoSlot)
+		if !m.slots.CompareAndSwap(nil, fresh) {
+			fresh = nil // lost the race; use the winner's table
+		}
+		t = m.slots.Load()
+	}
+	for i := uint64(0); i < memoProbeCap; i++ {
+		s := &t[(h+i)&(memoSlots-1)]
+		st := s.state.Load()
+		if st == 2 {
+			if s.k0 == k0 && s.k1 == k1 {
+				return // already cached
+			}
+			continue
+		}
+		if st == 0 && s.state.CompareAndSwap(0, 1) {
+			s.k0, s.k1 = k0, k1
+			s.parity = uint32(parity)
+			s.state.Store(2)
+			m.size.Add(1)
+			return
+		}
+		// Claim lost or a writer is mid-flight: treat as occupied. Two
+		// racing writers of the same key may land it in two slots; both
+		// carry the same parity (a pure function of the key), so
+		// duplicates are benign.
+	}
+}

@@ -29,19 +29,11 @@ func splitMix64(state *uint64) uint64 {
 // New returns a Source seeded from seed. Distinct seeds yield
 // uncorrelated streams; the same seed always yields the same stream.
 func New(seed uint64) *Source {
-	sm := seed
-	src := &Source{
-		s0: splitMix64(&sm),
-		s1: splitMix64(&sm),
-		s2: splitMix64(&sm),
-		s3: splitMix64(&sm),
-	}
 	// A pathological all-zero state would lock the generator at zero.
-	// SplitMix64 cannot produce four zero words from any seed, but the
-	// guard keeps the invariant local and obvious.
-	if src.s0|src.s1|src.s2|src.s3 == 0 {
-		src.s3 = 1
-	}
+	// SplitMix64 cannot produce four zero words from any seed, but
+	// Reseed's guard keeps the invariant local and obvious.
+	src := new(Source)
+	src.Reseed(seed)
 	return src
 }
 
@@ -50,10 +42,33 @@ func New(seed uint64) *Source {
 // distinct, reproducible streams regardless of how many values the
 // parent has produced in between.
 func (s *Source) Split(index uint64) *Source {
+	dst := new(Source)
+	s.SplitInto(index, dst)
+	return dst
+}
+
+// SplitInto is Split without the allocation: it reseeds dst in place
+// with exactly the stream Split(index) would return, so hot loops can
+// pool a fixed set of Sources and re-derive per-word streams for free.
+// Any prior state of dst is overwritten.
+func (s *Source) SplitInto(index uint64, dst *Source) {
 	// Mix the parent state with the index through SplitMix64 so child
 	// streams do not overlap the parent sequence.
 	sm := s.s0 ^ (s.s2 << 1) ^ (index * 0xd1342543de82ef95)
-	return New(splitMix64(&sm) ^ index)
+	dst.Reseed(splitMix64(&sm) ^ index)
+}
+
+// Reseed resets the source in place to the state New(seed) would
+// construct, discarding its previous stream.
+func (s *Source) Reseed(seed uint64) {
+	sm := seed
+	s.s0 = splitMix64(&sm)
+	s.s1 = splitMix64(&sm)
+	s.s2 = splitMix64(&sm)
+	s.s3 = splitMix64(&sm)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s3 = 1
+	}
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -310,3 +310,47 @@ func BenchmarkBernoulli64(b *testing.B) {
 		_ = s.Bernoulli64(0.01)
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	// SplitInto must produce the exact stream Split returns — the batch
+	// engine's word↔seed contract depends on the two derivations never
+	// diverging — and reusing one destination across indices must not
+	// leak state between derivations.
+	parent := New(42)
+	parent.Uint64() // derive from a non-fresh parent state
+	var dst Source
+	for _, index := range []uint64{0, 1, 63, 1 << 40, ^uint64(0)} {
+		want := parent.Split(index)
+		parent.SplitInto(index, &dst)
+		if dst != *want {
+			t.Fatalf("index %d: SplitInto state %+v != Split state %+v", index, dst, *want)
+		}
+		for i := 0; i < 16; i++ {
+			if got, w := dst.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("index %d draw %d: SplitInto %#x != Split %#x", index, i, got, w)
+			}
+		}
+	}
+}
+
+func TestSplitIntoAllocFree(t *testing.T) {
+	parent := New(1)
+	var dst Source
+	allocs := testing.AllocsPerRun(100, func() {
+		parent.SplitInto(7, &dst)
+		_ = dst.Uint64()
+	})
+	if allocs != 0 {
+		t.Fatalf("SplitInto allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	var s Source
+	for _, seed := range []uint64{0, 1, 12345, ^uint64(0)} {
+		s.Reseed(seed)
+		if want := New(seed); s != *want {
+			t.Fatalf("seed %d: Reseed state %+v != New state %+v", seed, s, *want)
+		}
+	}
+}

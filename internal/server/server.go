@@ -83,6 +83,11 @@ type Config struct {
 	// Fabric is this node's ring coordinator; nil runs single-node.
 	// Fabric mode requires a Store — fetched peer results land there.
 	Fabric *fabric.Coordinator
+	// EngineWidth is the default batched-engine tile width name for
+	// campaigns that do not set engine_width ("" = auto). A request's
+	// field overrides it per campaign. Width never changes results —
+	// only throughput — so mixed-width rings stay byte-identical.
+	EngineWidth string
 }
 
 // Server is the campaign service. Create with New, mount Handler, and
@@ -92,6 +97,7 @@ type Server struct {
 	sched   *sweep.Scheduler
 	workers int
 	control *control.Policy
+	width   string
 	fabric  *fabric.Coordinator
 	// leases arbitrates compute claims on this node's owned hashes:
 	// the coordinator's table in fabric mode, a private one otherwise
@@ -127,6 +133,7 @@ func New(cfg Config) *Server {
 		sched:   sweep.NewScheduler(workers),
 		workers: workers,
 		control: cfg.Control,
+		width:   cfg.EngineWidth,
 		fabric:  cfg.Fabric,
 		tele:    telemetry.NewRegistry(),
 		mux:     http.NewServeMux(),
@@ -196,6 +203,11 @@ func validateRequest(r CampaignRequest) error {
 	if r.Decoder != "" && !slices.Contains(exp.Decoders(), r.Decoder) {
 		return fmt.Errorf("unknown decoder %q (want one of %v)", r.Decoder, exp.Decoders())
 	}
+	if r.EngineWidth != "" {
+		if _, err := core.ResolveEngineWidth(r.EngineWidth); err != nil {
+			return fmt.Errorf("unknown engine width %q (want one of %v)", r.EngineWidth, core.Widths())
+		}
+	}
 	if r.Shots < 0 {
 		return fmt.Errorf("shots %d out of range (want >= 0; 0 = default)", r.Shots)
 	}
@@ -261,6 +273,10 @@ func (s *Server) campaignConfig(r CampaignRequest) exp.Config {
 	if r.Seed != nil {
 		seed = *r.Seed
 	}
+	width := s.width
+	if r.EngineWidth != "" {
+		width = r.EngineWidth
+	}
 	cfg := exp.Config{
 		Shots:     r.Shots,
 		Seed:      seed,
@@ -271,6 +287,7 @@ func (s *Server) campaignConfig(r CampaignRequest) exp.Config {
 		CI:        r.CI,
 		MaxShots:  r.MaxShots,
 		Engine:    r.Engine,
+		Width:     width,
 		Decoder:   r.Decoder,
 		Scheduler: s.sched,
 		Resume:    true,
@@ -820,6 +837,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("campaign_batch_size", "Chunk size the controller currently hands to engines.", func(st telemetry.Stats) any { return st.ChunkSize })
 	gauge("campaign_queue_depth", "Points of the campaign still queued on the scheduler.", func(st telemetry.Stats) any { return st.QueueDepth })
 	gauge("campaign_dwell_left", "Policy batches before the controller may re-choose its chunk size.", func(st telemetry.Stats) any { return st.DwellLeft })
+	gauge("campaign_engine_width_lanes", "Resolved batched-engine tile width of the campaign (0 = not yet routed).", func(st telemetry.Stats) any {
+		if st.Route == nil {
+			return 0
+		}
+		return st.Route.Width
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

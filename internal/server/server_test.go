@@ -18,6 +18,7 @@ import (
 	"radqec/internal/client"
 	"radqec/internal/exp"
 	"radqec/internal/store"
+	"radqec/internal/telemetry"
 )
 
 // seed builds the request's optional seed field.
@@ -122,6 +123,32 @@ func TestCampaignStreamMatchesDirectRun(t *testing.T) {
 	if computed != 15 {
 		t.Fatalf("points_computed_total = %v", computed)
 	}
+	// The auto-resolved engine width lands in the campaign's route
+	// signal: every repo code fits the widest 512-lane tile.
+	sigs, err := client.New(ts.URL, ts.Client()).Signals(context.Background(), 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sigs.Close()
+	var stats *telemetry.Stats
+	for {
+		rec, err := sigs.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Stats != nil {
+			stats = rec.Stats
+		}
+	}
+	if stats == nil || stats.Route == nil {
+		t.Fatalf("signals stream carried no routed stats: %+v", stats)
+	}
+	if stats.Route.Width != 512 || stats.Route.WidthReason == "" {
+		t.Fatalf("route width = %d (%q), want auto-resolved 512", stats.Route.Width, stats.Route.WidthReason)
+	}
 
 	// Warm re-submission: identical table, zero engine work.
 	points2, table2 := submit(t, ts, req)
@@ -146,6 +173,7 @@ func TestCampaignValidation(t *testing.T) {
 	for name, req := range map[string]CampaignRequest{
 		"experiment": {Experiment: "nope"},
 		"engine":     {Experiment: "fig5", Engine: "warp"},
+		"width":      {Experiment: "fig5", EngineWidth: "128"},
 		"decoder":    {Experiment: "fig5", Decoder: "oracle"},
 		"ci":         {Experiment: "fig5", CI: 0.7},
 		"rounds":     {Experiment: "fig5", Rounds: 1},

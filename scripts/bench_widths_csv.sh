@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_widths_csv.sh BENCH_widths.json > bench_widths.csv
+#
+# Flattens BenchmarkEngineWidthMatrix output into the shots/s matrix
+# CSV recorded as a CI artifact: one row per (code, distance, rounds,
+# width_lanes) cell. The input is either a `go test -json` event stream
+# (the BENCH_widths.json artifact) or plain `go test -bench` text; the
+# JSON stream is reassembled first because test2json splits a benchmark
+# result across output events (the padded name flushes before the run,
+# the numbers after it).
+set -euo pipefail
+
+in=${1:?usage: bench_widths_csv.sh BENCH_widths.json}
+if [ ! -s "$in" ]; then
+  echo "bench_widths_csv: input missing or empty: $in" >&2
+  exit 2
+fi
+
+if grep -q '"Action":"output"' "$in"; then
+  text=$(grep '"Action":"output"' "$in" \
+    | sed -e 's/.*"Output":"//' -e 's/"}[[:space:]]*$//' \
+    | awk '{printf "%s", $0}' \
+    | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g')
+else
+  text=$(cat "$in")
+fi
+
+echo "code,distance,rounds,width_lanes,shots_per_sec"
+rows=$(printf '%s\n' "$text" | awk '
+  # "BenchmarkEngineWidthMatrix/<code>-d<D>-r<R>/w<W>-<cpus>  N  ... X shots/s"
+  /^BenchmarkEngineWidthMatrix\// {
+    v = ""
+    for (i = 1; i < NF; i++) if ($(i + 1) == "shots/s") v = $i
+    if (v == "") next
+    name = $1
+    sub(/-[0-9]+$/, "", name) # CPU-count suffix
+    n = split(name, p, "/")
+    split(p[2], wl, "-")
+    printf "%s,%s,%s,%s,%s\n", wl[1], substr(wl[2], 2), substr(wl[3], 2), substr(p[n], 2), v
+  }
+')
+if [ -z "$rows" ]; then
+  echo "bench_widths_csv: no EngineWidthMatrix shots/s rows in $in (did the bench run fail?)" >&2
+  exit 2
+fi
+printf '%s\n' "$rows"
