@@ -28,6 +28,7 @@ import (
 	"radqec/internal/rng"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
+	"radqec/internal/trace"
 )
 
 // benchCfg returns a reduced configuration that still exercises every
@@ -293,12 +294,22 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 // scheduler's on this mix, because identical in-flight points are
 // computed once and replayed to the duplicate while static campaigns
 // race each other through the same points.
-func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64) {
+func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64, traced bool) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		st, err := store.Open(b.TempDir(), store.Options{})
 		if err != nil {
 			b.Fatal(err)
+		}
+		// The tracing variants share one campaign root per iteration:
+		// traced=false is the zero-cost contract (a zero SpanContext, the
+		// exact daemon configuration with sampling off), traced=true
+		// records every point/chunk/commit span into the ring.
+		var tc trace.SpanContext
+		var root trace.ActiveSpan
+		if traced {
+			root = trace.New("bench").Campaign("bench")
+			tc = root.Context()
 		}
 		// A bounded pool keeps the campaigns contending for workers — the
 		// regime the controller's single-flight, priorities and weighting
@@ -311,7 +322,7 @@ func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64) {
 		sched := sweep.NewScheduler(4)
 		b.StartTimer()
 
-		base := exp.Config{Seed: 11, NS: 4, Workers: 2, Scheduler: sched, Cache: st, Control: pol,
+		base := exp.Config{Seed: 11, NS: 4, Workers: 2, Scheduler: sched, Cache: st, Control: pol, Trace: tc,
 			OnPoint: func(r sweep.Result) { atomic.AddInt64(delivered, int64(r.Shots)) }}
 		var wg sync.WaitGroup
 		run := func(name string, cfg exp.Config) {
@@ -338,6 +349,7 @@ func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64) {
 		go run("memory", mem) // identical resubmissions: dedup under
 		go run("memory", mem) // single-flight on the cold daemon
 		wg.Wait()
+		root.End() // no-op when untraced
 
 		b.StopTimer()
 		sched.Close()
@@ -349,12 +361,27 @@ func benchMixedCampaigns(b *testing.B, pol *control.Policy, delivered *int64) {
 
 func BenchmarkSweepMixedCampaignsStatic(b *testing.B) {
 	var shots int64
-	benchMixedCampaigns(b, nil, &shots)
+	benchMixedCampaigns(b, nil, &shots, false)
 }
 
 func BenchmarkSweepMixedCampaignsController(b *testing.B) {
 	var shots int64
-	benchMixedCampaigns(b, control.Default(), &shots)
+	benchMixedCampaigns(b, control.Default(), &shots, false)
+}
+
+// Tracing variants of the controller mix. TracingOff is the daemon's
+// default configuration (sampling off — the zero SpanContext the
+// zero-cost contract is about) and is gated against the Controller
+// anchor by scripts/bench_gate.sh; TracingSampled records the full
+// span tree and measures what sampling a campaign costs.
+func BenchmarkSweepMixedCampaignsTracingOff(b *testing.B) {
+	var shots int64
+	benchMixedCampaigns(b, control.Default(), &shots, false)
+}
+
+func BenchmarkSweepMixedCampaignsTracingSampled(b *testing.B) {
+	var shots int64
+	benchMixedCampaigns(b, control.Default(), &shots, true)
 }
 
 // Engine benches: the Fig. 5 repetition-code campaign grid (8 physical

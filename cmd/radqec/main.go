@@ -56,6 +56,17 @@
 //	-stats       print a per-experiment telemetry summary to stderr:
 //	             shots/s, chunk/batch counts, cache traffic, allocation
 //	             and the engine-routing decision
+//	-trace-sample on|off  record distributed-trace spans for the run
+//	             (default off). Requires -trace-out or -trace-chrome;
+//	             tracing never changes results, only observability
+//	-trace-out F   write the recorded spans to F as NDJSON (one span
+//	             per line, the /v1/campaigns/{id}/trace record shape)
+//	-trace-chrome F  write the recorded spans to F as Chrome
+//	             trace-event JSON, loadable in Perfetto or
+//	             chrome://tracing
+//	-log-format text|json  structured-log rendering (default text)
+//	-log-level L minimum log level: debug, info, warn, or error
+//	             (default info)
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile after the run to F
 //	-csv         emit CSV instead of aligned text
@@ -76,6 +87,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -90,9 +102,11 @@ import (
 	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/exp"
+	"radqec/internal/logsetup"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 func main() {
@@ -113,6 +127,11 @@ func main() {
 	dwell := flag.Int("dwell", 4, "policy batches the controller holds a chunk size before re-scoring")
 	hysteresis := flag.Float64("hysteresis", 0.15, "relative score advantage needed to displace the incumbent chunk size")
 	statsOut := flag.Bool("stats", false, "print a per-experiment telemetry summary to stderr")
+	traceSample := flag.String("trace-sample", "off", "record distributed-trace spans for the run: on or off")
+	traceOut := flag.String("trace-out", "", "write recorded spans to this file as NDJSON")
+	traceChrome := flag.String("trace-chrome", "", "write recorded spans to this file as Chrome trace-event JSON")
+	logFormat := flag.String("log-format", "text", "structured-log rendering: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the experiment run to this file")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -173,6 +192,18 @@ func main() {
 	}
 	if *hysteresis < 0 || *hysteresis >= 1 {
 		usageError(fmt.Sprintf("-hysteresis %g out of range (want 0 <= hysteresis < 1)", *hysteresis))
+	}
+	if *traceSample != "on" && *traceSample != "off" {
+		usageError(fmt.Sprintf("-trace-sample %q out of range (want on or off)", *traceSample))
+	}
+	if *traceSample == "on" && *traceOut == "" && *traceChrome == "" {
+		usageError("-trace-sample on requires -trace-out FILE or -trace-chrome FILE (nowhere to write the spans)")
+	}
+	if *traceSample != "on" && (*traceOut != "" || *traceChrome != "") {
+		usageError("-trace-out/-trace-chrome require -trace-sample on")
+	}
+	if _, err := logsetup.Init(os.Stderr, *logFormat, *logLevel); err != nil {
+		usageError(err.Error())
 	}
 	cfg := exp.Config{
 		Shots:    *shots,
@@ -265,6 +296,21 @@ func main() {
 			writeHeapProfile(path)
 		}
 	}
+	// Local trace recording: one recorder spans the whole invocation
+	// (each experiment gets its own campaign root span under it), and
+	// the dump rides the flushProfiles chain so an errored or
+	// interrupted run still writes the spans it collected — exactly
+	// when the trace is wanted.
+	var recorder *trace.Recorder
+	if *traceSample == "on" {
+		recorder = trace.New("cli")
+		rec, nd, chrome := recorder, *traceOut, *traceChrome
+		prev := flushProfiles
+		flushProfiles = func() {
+			prev()
+			dumpTrace(rec, nd, chrome)
+		}
+	}
 	defer flushOnce()
 	// The signal handler flushes everything an interrupted campaign
 	// wants back: active pprof profiles and the result store's NDJSON
@@ -292,13 +338,13 @@ func main() {
 		} else {
 			interruptSignal.Store(-1)
 		}
-		fmt.Fprintf(os.Stderr, "radqec: %v: cancelling at the next batch boundary (signal again to exit now)\n", sig)
+		slog.Info("radqec: cancelling at the next batch boundary (signal again to exit now)", "signal", sig.String())
 		cancelRun(fmt.Errorf("interrupted by %v", sig))
 		sig = <-sigc
 		flushOnce()
 		if resultStore != nil {
 			closeStoreOnce()
-			fmt.Fprintf(os.Stderr, "radqec: %v: store flushed; rerun with -store %s -resume to continue\n", sig, *storeDir)
+			slog.Warn("radqec: store flushed; rerun with -store -resume to continue", "signal", sig.String(), "store", *storeDir)
 		}
 		if n, ok := sig.(syscall.Signal); ok {
 			os.Exit(128 + int(n))
@@ -312,7 +358,8 @@ func main() {
 	if resolved, _ := core.ResolveEngine(*engine); resolved != core.EngineTableau {
 		for _, e := range selected {
 			if e.XXZZRad {
-				fmt.Fprintf(os.Stderr, "radqec: engine %s: radiation resets on superposed XXZZ sites use the collapsed-branch approximation; -engine tableau is the exact oracle\n", resolved)
+				slog.Warn("radqec: radiation resets on superposed XXZZ sites use the collapsed-branch approximation; -engine tableau is the exact oracle",
+					"engine", string(resolved))
 				break
 			}
 		}
@@ -334,8 +381,12 @@ func main() {
 			campaignID++
 			cfg.Telemetry = telemetry.NewCampaign(campaignID, e.Name)
 		}
+		root := recorder.Campaign(e.Name) // inert when -trace-sample off
+		cfg.Trace = root.Context()
 		start := time.Now()
 		tab, err := e.Run(cfg)
+		root.SetError(err)
+		root.End()
 		if err != nil {
 			if sig := interruptSignal.Load(); sig != 0 {
 				// Graceful cancellation: the sweep stopped at a batch
@@ -344,7 +395,7 @@ func main() {
 				flushOnce()
 				if resultStore != nil {
 					closeStoreOnce()
-					fmt.Fprintf(os.Stderr, "radqec: interrupted; store flushed; rerun with -store %s -resume to continue\n", *storeDir)
+					slog.Warn("radqec: interrupted; store flushed; rerun with -store -resume to continue", "store", *storeDir)
 				}
 				if sig > 0 {
 					os.Exit(128 + int(sig))
@@ -436,9 +487,43 @@ func closeStoreOnce() {
 			return
 		}
 		if err := resultStore.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "radqec: store:", err)
+			slog.Error("radqec: store close failed", "error", err)
 		}
 	})
+}
+
+// dumpTrace writes the run's recorded spans to the -trace-out (NDJSON)
+// and -trace-chrome (Chrome trace-event JSON) files. Best-effort on
+// the way out, like the pprof flush: errors are logged, never fatal.
+func dumpTrace(rec *trace.Recorder, ndPath, chromePath string) {
+	spans := rec.Spans()
+	if ndPath != "" {
+		f, err := os.Create(ndPath)
+		if err != nil {
+			slog.Error("radqec: trace dump failed", "error", err)
+		} else {
+			enc := json.NewEncoder(f)
+			for i := range spans {
+				if err := enc.Encode(&spans[i]); err != nil {
+					slog.Error("radqec: trace dump failed", "error", err)
+					break
+				}
+			}
+			f.Close()
+		}
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			slog.Error("radqec: trace dump failed", "error", err)
+			return
+		}
+		if err := trace.WriteChrome(f, spans); err != nil {
+			slog.Error("radqec: trace dump failed", "error", err)
+		}
+		f.Close()
+	}
+	slog.Info("radqec: trace written", "trace_id", rec.TraceID().String(), "spans", len(spans))
 }
 
 // writeHeapProfile snapshots the heap after a GC. Errors are reported
@@ -447,20 +532,20 @@ func closeStoreOnce() {
 func writeHeapProfile(path string) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "radqec:", err)
+		slog.Error("radqec: heap profile failed", "error", err)
 		return
 	}
 	defer f.Close()
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintln(os.Stderr, "radqec:", err)
+		slog.Error("radqec: heap profile failed", "error", err)
 	}
 }
 
 func fatal(err error) {
 	flushOnce()
 	closeStoreOnce()
-	fmt.Fprintln(os.Stderr, "radqec:", err)
+	slog.Error("radqec: fatal", "error", err)
 	os.Exit(1)
 }
 

@@ -42,6 +42,16 @@
 //	                 -store and -self
 //	-self HOST:PORT  this node's own address exactly as it appears in
 //	                 -peers
+//	-trace-sample on|off  default distributed-trace sampling for
+//	                 campaigns that don't set "trace_sample" (default
+//	                 off); sampled campaigns record spans readable at
+//	                 GET /v1/campaigns/{id}/trace. Tracing never changes
+//	                 results, only observability
+//	-log-format text|json  structured-log rendering (default text)
+//	-log-level L     minimum log level: debug, info, warn, or error
+//	                 (default info)
+//	-pprof           mount net/http/pprof under /debug/pprof/ (default
+//	                 off; the profiles expose heap contents)
 //
 // Endpoints are documented in package server (full API in docs/api.md).
 // SIGINT/SIGTERM drain in-flight campaigns, flush the store and exit.
@@ -52,6 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +74,7 @@ import (
 	"radqec/internal/control"
 	"radqec/internal/core"
 	"radqec/internal/fabric"
+	"radqec/internal/logsetup"
 	"radqec/internal/server"
 	"radqec/internal/store"
 )
@@ -81,6 +93,10 @@ func main() {
 	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "request header size cap in bytes")
 	peers := flag.String("peers", "", "comma-separated static fabric ring, self included (empty = single node)")
 	self := flag.String("self", "", "this node's own address as it appears in -peers")
+	traceSample := flag.String("trace-sample", "off", "default distributed-trace sampling for campaigns: on or off (requests may override per campaign)")
+	logFormat := flag.String("log-format", "text", "structured-log rendering: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "radqecd: unexpected arguments %v\n", flag.Args())
@@ -114,6 +130,13 @@ func main() {
 	if *maxHeaderBytes <= 0 {
 		usageError(fmt.Sprintf("-max-header-bytes %d out of range (want > 0)", *maxHeaderBytes))
 	}
+	if *traceSample != "on" && *traceSample != "off" {
+		usageError(fmt.Sprintf("-trace-sample %q out of range (want on or off)", *traceSample))
+	}
+	log, err := logsetup.Init(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		usageError(err.Error())
+	}
 	var ring []string
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -142,10 +165,13 @@ func main() {
 			fatal(err)
 		}
 		stats := st.Stats()
-		fmt.Fprintf(os.Stderr, "radqecd: store %s: %d committed points, %d checkpoints, %d segment bytes\n",
-			*storeDir, stats.Commits, stats.Checkpoints, stats.SegmentBytes)
+		log.Info("radqecd: store opened",
+			"dir", *storeDir,
+			"commits", stats.Commits,
+			"checkpoints", stats.Checkpoints,
+			"segment_bytes", stats.SegmentBytes)
 	} else {
-		fmt.Fprintln(os.Stderr, "radqecd: running without a store; every campaign recomputes")
+		log.Warn("radqecd: running without a store; every campaign recomputes")
 	}
 
 	var ctrl *control.Policy
@@ -155,13 +181,22 @@ func main() {
 	var coord *fabric.Coordinator
 	if len(ring) > 0 {
 		var err error
-		coord, err = fabric.New(fabric.Options{Self: *self, Peers: ring, Store: st})
+		coord, err = fabric.New(fabric.Options{Self: *self, Peers: ring, Store: st, Logger: log})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "radqecd: fabric ring of %d nodes, self %s\n", len(coord.Peers()), *self)
+		log.Info("radqecd: fabric ring joined", "nodes", len(coord.Peers()), "self", *self)
 	}
-	srv := server.New(server.Config{Store: st, Workers: *workers, Control: ctrl, Fabric: coord, EngineWidth: *engineWidth})
+	srv := server.New(server.Config{
+		Store:       st,
+		Workers:     *workers,
+		Control:     ctrl,
+		Fabric:      coord,
+		EngineWidth: *engineWidth,
+		TraceSample: *traceSample,
+		Logger:      log,
+		Pprof:       *pprofOn,
+	})
 	// No blanket ReadTimeout/WriteTimeout: campaign streams legitimately
 	// run for minutes and per-write deadlines already guard them (see
 	// server.streamWriteTimeout). The header and idle limits below are
@@ -186,14 +221,14 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "radqecd: %v: draining (signal again to exit now)\n", sig)
+		log.Info("radqecd: draining (signal again to exit now)", "signal", sig.String())
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			done <- httpSrv.Shutdown(ctx)
 		}()
 		sig = <-sigc
-		fmt.Fprintf(os.Stderr, "radqecd: %v: exiting now\n", sig)
+		log.Warn("radqecd: exiting now", "signal", sig.String())
 		if st != nil {
 			st.Close() // sync + close; in-flight appends finish first
 		}
@@ -203,7 +238,7 @@ func main() {
 		os.Exit(1)
 	}()
 
-	fmt.Fprintf(os.Stderr, "radqecd: listening on %s\n", *addr)
+	log.Info("radqecd: listening", "addr", *addr, "workers", *workers, "trace_sample", *traceSample, "pprof", *pprofOn)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		if st != nil {
 			st.Close()
@@ -218,7 +253,7 @@ func main() {
 		// — so the pool is left to die with the process instead.
 		srv.Close()
 	} else {
-		fmt.Fprintf(os.Stderr, "radqecd: drain incomplete (%v); exiting with campaigns in flight\n", shutdownErr)
+		log.Error("radqecd: drain incomplete; exiting with campaigns in flight", "error", shutdownErr)
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {
@@ -230,8 +265,11 @@ func main() {
 	}
 }
 
+// fatal reports an unrecoverable startup or shutdown error. It runs
+// only after logsetup.Init installed the default logger, so the record
+// lands in the operator's chosen format.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "radqecd:", err)
+	slog.Error("radqecd: fatal", "error", err)
 	os.Exit(1)
 }
 

@@ -27,6 +27,7 @@ import (
 	"radqec/internal/store"
 	"radqec/internal/sweep"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 // CampaignRequest is the JSON body of POST /v1/campaigns. Zero fields
@@ -73,6 +74,14 @@ type CampaignRequest struct {
 	// never by end clients; daemons older than the fabric release
 	// reject it, so a ring must run one release.
 	Fabric bool `json:"fabric,omitempty"`
+	// TraceSample overrides the daemon's -trace-sample default for
+	// this campaign: "on" records a distributed trace (spans at
+	// GET /v1/campaigns/{id}/trace), "off" disables it, omitted takes
+	// the daemon default. Any other value is a 400. Tracing is pure
+	// mechanism — results and content hashes are unchanged by it. An
+	// incoming sampled traceparent header wins over "off", so fan-out
+	// legs of a sampled campaign always stitch.
+	TraceSample string `json:"trace_sample,omitempty"`
 }
 
 // Error is a failed v1 call: the HTTP status plus the server's stable
@@ -173,6 +182,12 @@ func decodeError(resp *http.Response) error {
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
+	// Every hop of a sampled campaign carries its W3C traceparent —
+	// fan-out submits, point long-polls, lease claims — so a
+	// multi-node campaign stitches into one trace.
+	if tp := trace.FromContext(req.Context()).Traceparent(); tp != "" {
+		req.Header.Set(trace.Header, tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -248,9 +263,13 @@ type CampaignStream struct {
 	// ID is the campaign's daemon-assigned identifier, from the
 	// X-Radqec-Campaign-Id response header — the handle for Cancel and
 	// Signals.
-	ID   int64
-	body io.ReadCloser
-	sc   *bufio.Scanner
+	ID int64
+	// TraceID is the campaign's trace id from the X-Radqec-Trace-Id
+	// response header, empty when the campaign is unsampled — the
+	// handle for TraceByID against any node of the ring.
+	TraceID string
+	body    io.ReadCloser
+	sc      *bufio.Scanner
 }
 
 // SubmitOptions tunes a campaign submission.
@@ -290,7 +309,7 @@ func (c *Client) SubmitCampaign(ctx context.Context, creq CampaignRequest, opts 
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	return &CampaignStream{ID: id, body: resp.Body, sc: sc}, nil
+	return &CampaignStream{ID: id, TraceID: resp.Header.Get("X-Radqec-Trace-Id"), body: resp.Body, sc: sc}, nil
 }
 
 // Next returns the next stream record, or io.EOF after the last one.
@@ -415,6 +434,55 @@ func (s *SignalStream) Next() (SignalRecord, error) {
 
 // Close abandons the signals stream.
 func (s *SignalStream) Close() error { return s.body.Close() }
+
+// TraceSpans fetches a sampled campaign's recorded spans
+// (GET /v1/campaigns/{id}/trace, NDJSON). On a fabric node the server
+// stitches in the peers' spans for the same trace id; localOnly asks
+// for this node's spans alone.
+func (c *Client) TraceSpans(ctx context.Context, id int64, localOnly bool) ([]trace.Span, error) {
+	path := "/v1/campaigns/" + strconv.FormatInt(id, 10) + "/trace"
+	if localOnly {
+		path += "?local=1"
+	}
+	return c.traceNDJSON(ctx, path)
+}
+
+// TraceByID fetches spans by trace id (GET /v1/traces/{trace_id}) —
+// how a node that only ran a fan-out leg of a campaign is asked for
+// its part of the distributed trace.
+func (c *Client) TraceByID(ctx context.Context, traceID string, localOnly bool) ([]trace.Span, error) {
+	path := "/v1/traces/" + url.PathEscape(traceID)
+	if localOnly {
+		path += "?local=1"
+	}
+	return c.traceNDJSON(ctx, path)
+}
+
+func (c *Client) traceNDJSON(ctx context.Context, path string) ([]trace.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var spans []trace.Span
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var s trace.Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return nil, fmt.Errorf("radqecd: trace stream line not a span: %q", sc.Bytes())
+		}
+		spans = append(spans, s)
+	}
+	return spans, sc.Err()
+}
 
 // ExperimentInfo is one row of GET /v1/experiments.
 type ExperimentInfo struct {

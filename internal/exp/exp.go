@@ -18,6 +18,8 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"radqec/internal/arch"
 	"radqec/internal/control"
@@ -30,6 +32,7 @@ import (
 	"radqec/internal/store"
 	"radqec/internal/sweep"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 // Simulation engine names for Config.Engine, shared with the core
@@ -145,6 +148,12 @@ type Config struct {
 	// registry's TailCols declaration; setting it by hand is a harmless
 	// scheduling hint.
 	TailSensitive bool
+	// Trace, when sampled, is the campaign's root span context: sweeps
+	// record point/chunk/commit spans under it and the engine's decode
+	// share is timed into per-chunk decode spans. Like Telemetry it is
+	// pure mechanism — deliberately absent from specFingerprint, so
+	// tracing never perturbs results or content addresses.
+	Trace trace.SpanContext
 }
 
 // repetition builds the repetition code at the configured memory depth.
@@ -211,6 +220,7 @@ func (c Config) sweepConfig() sweep.Config {
 			Remote:    c.Remote,
 			Control:   c.Control,
 			Telemetry: c.Telemetry,
+			Trace:     c.Trace,
 		},
 	}
 }
@@ -427,7 +437,7 @@ func (s pointSpec) fingerprint(cfg Config) string {
 // batched engine decodes lane-for-lane identically to the scalar
 // ones); specs that set decode keep their override. shotWorkers caps
 // the campaign's internal shot parallelism.
-func (s pointSpec) point(engine, decoder, width string, shotWorkers int) sweep.Point {
+func (s pointSpec) point(engine, decoder, width string, shotWorkers int, tc trace.SpanContext) sweep.Point {
 	eng := s.engineFor(engine)
 	return sweep.Point{
 		Key: s.key,
@@ -440,6 +450,16 @@ func (s pointSpec) point(engine, decoder, width string, shotWorkers int) sweep.P
 					panic(fmt.Sprintf("exp: %v", err))
 				}
 			}
+			// Sampled campaigns time the decode share of every chunk
+			// into one decode span per engine call. The wrap happens
+			// only here, behind the sampling decision, so the unsampled
+			// hot path runs the exact pre-trace closures (the zero-alloc
+			// tile guard and the tracing-off bench measure that path).
+			var decNS *atomicNS
+			if tc.Sampled() {
+				decNS = &atomicNS{}
+				decode, dec = wrapDecode(decode, dec, decNS)
+			}
 			// Width resolves against this spec's routed circuit (specs in
 			// one campaign can carry different codes); unknown names panic
 			// like engineFor — the CLI and daemon validate first.
@@ -450,12 +470,68 @@ func (s pointSpec) point(engine, decoder, width string, shotWorkers int) sweep.P
 			run := core.NewEngineRunner(eng, s.prep.tr.Circuit,
 				noise.NewDepolarizing(s.phys), s.ev, s.seed,
 				s.prep.code.ExpectedLogical(), decode, dec, lanes, shotWorkers)
+			if decNS == nil {
+				return func(start, n int) sweep.Counts {
+					shots, errors := run(start, n)
+					return sweep.Counts{Shots: shots, Errors: errors}
+				}
+			}
+			key := s.key
 			return func(start, n int) sweep.Counts {
+				decNS.v.Store(0)
 				shots, errors := run(start, n)
+				emitDecodeSpan(tc, key, shots, decNS.v.Load())
 				return sweep.Counts{Shots: shots, Errors: errors}
 			}
 		},
 	}
+}
+
+// atomicNS accumulates decode nanoseconds across the (possibly
+// parallel) decode calls of one engine chunk.
+type atomicNS struct{ v atomic.Int64 }
+
+// wrapDecode instruments the scalar and tile decode paths with wall
+// time accumulation. Only sampled campaigns install it; the tile path
+// adds two clock reads per 512-shot tile, the scalar path two per
+// shot word.
+func wrapDecode(decode func(bits []int) int, dec frame.TileDecodeFunc, ns *atomicNS) (func(bits []int) int, frame.TileDecodeFunc) {
+	wrappedScalar := decode
+	if decode != nil {
+		wrappedScalar = func(bits []int) int {
+			t0 := time.Now()
+			v := decode(bits)
+			ns.v.Add(time.Since(t0).Nanoseconds())
+			return v
+		}
+	}
+	wrappedTile := dec
+	if dec != nil {
+		wrappedTile = func(rec []uint64, w int, live, out []uint64) {
+			t0 := time.Now()
+			dec(rec, w, live, out)
+			ns.v.Add(time.Since(t0).Nanoseconds())
+		}
+	}
+	return wrappedScalar, wrappedTile
+}
+
+// emitDecodeSpan records one chunk's aggregated decode time as a
+// decode span under the point's open span (falling back to the
+// campaign span if the directory misses). The span is recorded at the
+// chunk's end, positioned to span exactly the accumulated decode
+// time.
+func emitDecodeSpan(tc trace.SpanContext, key string, shots int, ns int64) {
+	if !tc.Sampled() || ns <= 0 {
+		return
+	}
+	parent := tc.Recorder().PointSpan(key)
+	if !parent.Sampled() {
+		parent = tc
+	}
+	sp := parent.StartAt(trace.SpanDecode, key, time.Now().Add(-time.Duration(ns)))
+	sp.SetShots(shots)
+	sp.End()
 }
 
 // runSpecs fans the specs through the sweep engine, returning per-spec
@@ -507,7 +583,7 @@ func runSpecs(cfg Config, specs []pointSpec) []sweep.Result {
 	}
 	points := make([]sweep.Point, len(specs))
 	for i, s := range specs {
-		points[i] = s.point(cfg.Engine, cfg.Decoder, cfg.Width, shotWorkers)
+		points[i] = s.point(cfg.Engine, cfg.Decoder, cfg.Width, shotWorkers, cfg.Trace)
 		points[i].TailSensitive = cfg.TailSensitive
 		if cfg.Cache != nil {
 			points[i].Hash = s.fingerprint(cfg)

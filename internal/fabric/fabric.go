@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"radqec/internal/faultinject"
 	"radqec/internal/store"
 	"radqec/internal/sweep"
+	"radqec/internal/trace"
 )
 
 // Options configures a Coordinator.
@@ -61,6 +63,11 @@ type Options struct {
 	TakeoverPatience time.Duration
 	// LeaseTTL bounds a granted compute lease (default 10s).
 	LeaseTTL time.Duration
+	// Logger receives the coordinator's diagnostics — peer down
+	// marks, fan-out failures, takeovers — with trace/span ids
+	// attached when the triggering campaign is sampled. nil picks
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 func (o *Options) defaults() {
@@ -78,6 +85,9 @@ func (o *Options) defaults() {
 	}
 	if o.LeaseTTL <= 0 {
 		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 }
 
@@ -198,6 +208,8 @@ func (c *Coordinator) observe(peer string, err error) {
 	if st.failures >= c.opts.RetryLimit {
 		st.failures = 0
 		st.downUntil = time.Now().Add(c.opts.DownFor)
+		c.opts.Logger.Warn("fabric: peer marked down after repeated failures",
+			"peer", peer, "down_for", c.opts.DownFor, "last_error", err.Error())
 	}
 }
 
@@ -210,6 +222,7 @@ func (c *Coordinator) markDown(peer string) {
 	if st, ok := c.peers[peer]; ok {
 		st.failures = 0
 		st.downUntil = time.Now().Add(c.opts.DownFor)
+		c.opts.Logger.Warn("fabric: peer marked down", "peer", peer, "down_for", c.opts.DownFor)
 	}
 }
 
@@ -231,7 +244,28 @@ func (c *Coordinator) Watch(ctx context.Context, hash string, done func(takeover
 }
 
 func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover bool)) {
-	patience := time.Now().Add(c.opts.TakeoverPatience)
+	start := time.Now()
+	patience := start.Add(c.opts.TakeoverPatience)
+	// Sampled campaigns carry their span context in ctx; the watch
+	// resolves as one remote-fetch or takeover span covering the whole
+	// park, plus a lease-wait span from the first claim attempt — the
+	// "where did this point's 30 seconds go" answer.
+	sc := trace.FromContext(ctx)
+	var firstClaim time.Time
+	resolve := func(name, detail string) {
+		if !sc.Sampled() {
+			return
+		}
+		if !firstClaim.IsZero() {
+			ls := sc.StartAt(trace.SpanLeaseWait, "", firstClaim)
+			ls.SetHash(hash)
+			ls.End()
+		}
+		s := sc.StartAt(name, "", start)
+		s.SetHash(hash)
+		s.SetDetail(detail)
+		s.End()
+	}
 	for {
 		if ctx.Err() != nil {
 			return
@@ -240,6 +274,7 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 		// a previous watch, campaign, or fan-in committed it.
 		if _, ok := c.opts.Store.Lookup(hash); ok {
 			c.remoteHits.Add(1)
+			resolve(trace.SpanRemoteFetch, "committed result already in local store")
 			done(false)
 			return
 		}
@@ -250,6 +285,8 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 			// still single-flight, then compute.
 			if ok, _, _ := c.leases.Claim(hash, c.opts.Self, c.opts.LeaseTTL); ok {
 				c.takeovers.Add(1)
+				resolve(trace.SpanTakeover, "ring reassigned; computing locally")
+				c.logTakeover(sc, hash, "owner down, ring reassigned")
 				done(true)
 				return
 			}
@@ -274,6 +311,7 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 		if found {
 			c.opts.Store.Commit(hash, cp)
 			c.remoteHits.Add(1)
+			resolve(trace.SpanRemoteFetch, "fetched from "+owner)
 			done(false)
 			return
 		}
@@ -283,6 +321,9 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 			// patience — ask it for the compute lease and take over if
 			// granted. A held lease means it IS being computed; give
 			// the holder a fresh patience window.
+			if firstClaim.IsZero() {
+				firstClaim = time.Now()
+			}
 			claim, err := c.clientFor(owner).ClaimPoint(ctx, hash, c.opts.Self, c.opts.LeaseTTL)
 			c.observe(owner, err)
 			switch {
@@ -291,6 +332,8 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 				// mark the owner down and the ring takes over.
 			case claim.Status == client.ClaimGranted:
 				c.takeovers.Add(1)
+				resolve(trace.SpanTakeover, "lease granted by "+owner)
+				c.logTakeover(sc, hash, "lease granted by "+owner)
 				done(true)
 				return
 			case claim.Status == client.ClaimCommitted:
@@ -303,6 +346,16 @@ func (c *Coordinator) watch(ctx context.Context, hash string, done func(takeover
 			return
 		}
 	}
+}
+
+// logTakeover reports a point takeover, attaching the campaign's
+// trace/span ids when it is sampled.
+func (c *Coordinator) logTakeover(sc trace.SpanContext, hash, why string) {
+	log := c.opts.Logger
+	if sc.Sampled() {
+		log = log.With("trace_id", sc.TraceID().String(), "span_id", sc.SpanID().String())
+	}
+	log.Info("fabric: taking over point", "hash", hash, "reason", why)
 }
 
 // lookupAt fetches hash's committed result from peer, long-polling one
@@ -360,6 +413,7 @@ func (c *Coordinator) FanOut(ctx context.Context, req client.CampaignRequest) {
 			stream, err := c.clientFor(peer).SubmitCampaign(ctx, req, client.SubmitOptions{Detach: &detach})
 			c.observe(peer, err)
 			if err != nil {
+				c.opts.Logger.Warn("fabric: campaign fan-out failed", "peer", peer, "error", err.Error())
 				c.markDown(peer)
 				return
 			}

@@ -48,8 +48,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"slices"
 	"strconv"
@@ -67,6 +68,7 @@ import (
 	"radqec/internal/store"
 	"radqec/internal/sweep"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 // Config assembles a Server.
@@ -88,6 +90,19 @@ type Config struct {
 	// field overrides it per campaign. Width never changes results —
 	// only throughput — so mixed-width rings stay byte-identical.
 	EngineWidth string
+	// TraceSample is the sampling default for campaigns that do not set
+	// trace_sample: "on" records spans for every campaign, "off" (or
+	// empty) records none. A request's field — or a sampled incoming
+	// traceparent header — overrides it per campaign. Tracing never
+	// changes results or content addresses, only observability.
+	TraceSample string
+	// Logger receives the daemon's structured diagnostics; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiling endpoints expose heap contents and must be
+	// opted into.
+	Pprof bool
 }
 
 // Server is the campaign service. Create with New, mount Handler, and
@@ -104,8 +119,15 @@ type Server struct {
 	// (so the claim endpoint behaves identically either way).
 	leases *fabric.LeaseTable
 	tele   *telemetry.Registry
-	mux    *http.ServeMux
-	start  time.Time
+	traces *trace.Registry
+	log    *slog.Logger
+	// node names this daemon in trace spans: the fabric self address in
+	// ring mode, "local" single-node.
+	node string
+	// traceDefault samples campaigns that don't set trace_sample.
+	traceDefault bool
+	mux          *http.ServeMux
+	start        time.Time
 
 	// cancels maps an active campaign's telemetry ID to its context
 	// cancel, so DELETE /v1/campaigns/{id} can stop it mid-stream.
@@ -129,25 +151,35 @@ func New(cfg Config) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		st:      cfg.Store,
-		sched:   sweep.NewScheduler(workers),
-		workers: workers,
-		control: cfg.Control,
-		width:   cfg.EngineWidth,
-		fabric:  cfg.Fabric,
-		tele:    telemetry.NewRegistry(),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		cancels: make(map[int64]context.CancelCauseFunc),
+		st:           cfg.Store,
+		sched:        sweep.NewScheduler(workers),
+		workers:      workers,
+		control:      cfg.Control,
+		width:        cfg.EngineWidth,
+		fabric:       cfg.Fabric,
+		tele:         telemetry.NewRegistry(),
+		traces:       trace.NewRegistry(),
+		log:          cfg.Logger,
+		node:         "local",
+		traceDefault: cfg.TraceSample == "on",
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		cancels:      make(map[int64]context.CancelCauseFunc),
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	if s.fabric != nil {
 		s.leases = s.fabric.Leases()
+		s.node = s.fabric.Self()
 	} else {
 		s.leases = fabric.NewLeaseTable()
 	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/signals", s.handleSignals)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleCampaignTrace)
+	s.mux.HandleFunc("GET /v1/traces/{trace_id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/points/{hash}", s.handlePointLookup)
 	s.mux.HandleFunc("POST /v1/points/{hash}/claim", s.handlePointClaim)
@@ -163,6 +195,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/cache/compact", deprecated("POST /v1/cache:compact", s.handleCacheCompact))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -235,7 +274,36 @@ func validateRequest(r CampaignRequest) error {
 	if r.Hysteresis < 0 || r.Hysteresis >= 1 {
 		return fmt.Errorf("hysteresis %g out of range (want 0 <= hysteresis < 1; 0 = default)", r.Hysteresis)
 	}
+	if r.TraceSample != "" && r.TraceSample != "on" && r.TraceSample != "off" {
+		return fmt.Errorf("bad trace_sample %q (want on or off; empty = daemon default)", r.TraceSample)
+	}
 	return nil
+}
+
+// traceRecorder resolves the campaign's sampling decision and returns
+// its recorder (nil = unsampled). A sampled incoming traceparent wins
+// unconditionally — the originating node already decided to trace this
+// campaign, and a shard that opts out would leave a hole in the
+// stitched trace — then the request's trace_sample, then the daemon
+// default. A malformed traceparent header is ignored per the W3C
+// spec rather than rejected.
+func (s *Server) traceRecorder(r *http.Request, req CampaignRequest) *trace.Recorder {
+	if h := r.Header.Get(trace.Header); h != "" {
+		if tid, sid, sampled, err := trace.ParseTraceparent(h); err == nil && sampled {
+			return trace.Adopt(tid, sid, s.node)
+		}
+	}
+	sample := s.traceDefault
+	switch req.TraceSample {
+	case "on":
+		sample = true
+	case "off":
+		sample = false
+	}
+	if !sample {
+		return nil
+	}
+	return trace.New(s.node)
 }
 
 // controlPolicy resolves the campaign's controller policy: the request
@@ -343,6 +411,22 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	defer s.tele.Finish(tc)
 	cfg.Telemetry = tc
 
+	// Sampling decision, then the node-local campaign root span. Every
+	// local span parents under it, and — when the campaign arrived over
+	// the fabric — it parents under the submitter's span, so the whole
+	// ring stitches into one trace.
+	rec := s.traceRecorder(r, req)
+	var root trace.ActiveSpan
+	if rec.Sampled() {
+		s.traces.Add(tc.ID(), rec)
+		root = rec.Campaign(req.Experiment)
+		cfg.Trace = root.Context()
+		defer func() {
+			root.End()
+			s.traces.Finish(tc.ID())
+		}()
+	}
+
 	// Campaign lifecycle: by default the campaign detaches from the
 	// connection (a vanished client must not waste the shots already
 	// spent — points keep landing in the store). ?detach=0 opts into
@@ -356,6 +440,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancelCause(base)
 	defer cancel(nil)
+	// The root span rides the campaign context so every outbound fabric
+	// hop — fan-out submits, point long-polls, lease claims — carries
+	// its traceparent (no-op when unsampled).
+	ctx = trace.ContextWith(ctx, root.Context())
 	cfg.Context = ctx
 	s.cancelMu.Lock()
 	s.cancels[tc.ID()] = cancel
@@ -383,6 +471,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// NDJSON consumers keep parsing points and tables untouched; clients
 	// follow it to GET /v1/campaigns/{id}/signals.
 	w.Header().Set("X-Radqec-Campaign-Id", strconv.FormatInt(tc.ID(), 10))
+	if rec.Sampled() {
+		// The trace ID rides a header too, so clients can fetch
+		// GET /v1/traces/{trace_id} from any node of the ring.
+		w.Header().Set("X-Radqec-Trace-Id", rec.TraceID().String())
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // keep reverse proxies from batching the stream
 	flusher, _ := w.(http.Flusher)
@@ -437,7 +530,17 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			// keep running.
 			s.workerPanics.Add(1)
 			s.campaignErrors.Add(1)
-			log.Printf("campaign %d: %v\n%s", tc.ID(), pe, pe.Stack)
+			log := s.log
+			if rec.Sampled() {
+				log = log.With("trace_id", rec.TraceID().String())
+			}
+			log.Error("server: sweep worker panic failed the campaign",
+				"campaign", tc.ID(),
+				"experiment", req.Experiment,
+				"point", pe.Key,
+				"hash", pe.Hash,
+				"panic", fmt.Sprint(pe.Value),
+				"stack", string(pe.Stack))
 		case cancelled:
 			s.campaignsCancelled.Add(1)
 		default:
@@ -562,6 +665,149 @@ func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
 	if enc.Encode(statsRecord{Type: "stats", Stats: c.Stats()}) == nil && flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// peerTraceTimeout bounds the fan-in to peers when stitching a trace:
+// a slow or dead peer delays the read at most this long and then just
+// contributes no spans.
+const peerTraceTimeout = 5 * time.Second
+
+// handleCampaignTrace serves a campaign's recorded trace spans. By
+// default the response is the whole stitched trace — this node's spans
+// plus every ring peer's shard of the same trace id; ?local=1 restricts
+// it to this node's spans (the form peers use for stitching, so fan-in
+// never recurses). ?format=chrome renders Chrome trace-event JSON
+// loadable in Perfetto instead of NDJSON.
+func (s *Server) handleCampaignTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad campaign id %q", r.PathValue("id")))
+		return
+	}
+	rec := s.traces.ByCampaign(id)
+	if rec == nil {
+		apiError(w, r, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("campaign %d has no recorded trace (unsampled, unknown, or rotated out of the recent-campaign tail)", id))
+		return
+	}
+	s.serveTrace(w, r, rec)
+}
+
+// handleTraceByID serves a trace by its 32-hex trace id — the handle a
+// peer or a client holds when it doesn't know this node's campaign id
+// for the shard. Same query surface as the campaign form.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	tid, ok := parseTraceID(r.PathValue("trace_id"))
+	if !ok {
+		apiError(w, r, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("bad trace id %q (want 32 hex characters)", r.PathValue("trace_id")))
+		return
+	}
+	rec := s.traces.ByTrace(tid)
+	if rec == nil {
+		apiError(w, r, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("trace %s not recorded on this node", tid))
+		return
+	}
+	s.serveTrace(w, r, rec)
+}
+
+// parseTraceID parses a 32-hex-character trace id.
+func parseTraceID(raw string) (trace.TraceID, bool) {
+	var tid trace.TraceID
+	if len(raw) != 2*len(tid) {
+		return tid, false
+	}
+	for i := 0; i < len(tid); i++ {
+		hi := hexVal(raw[2*i])
+		lo := hexVal(raw[2*i+1])
+		if hi < 0 || lo < 0 {
+			return tid, false
+		}
+		tid[i] = byte(hi<<4 | lo)
+	}
+	return tid, true
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// serveTrace renders a recorder's spans — stitched with the peers'
+// shards unless ?local=1 — as NDJSON span records or, with
+// ?format=chrome, as a Chrome trace-event JSON document.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request, rec *trace.Recorder) {
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "ndjson" && format != "chrome" {
+		apiError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad format %q (want ndjson or chrome)", format))
+		return
+	}
+	spans := rec.Spans()
+	if s.fabric != nil && r.URL.Query().Get("local") != "1" {
+		spans = append(spans, s.peerSpans(r.Context(), rec.TraceID())...)
+	}
+	slices.SortStableFunc(spans, func(a, b trace.Span) int {
+		if a.StartNS != b.StartNS {
+			if a.StartNS < b.StartNS {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	if format == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if enc.Encode(&spans[i]) != nil {
+			return
+		}
+	}
+}
+
+// peerSpans fans in the other ring nodes' shards of a trace. Each peer
+// is asked for its local spans only, so stitching never recurses; a
+// down peer or one that never sampled the trace contributes nothing
+// rather than failing the read.
+func (s *Server) peerSpans(ctx context.Context, tid trace.TraceID) []trace.Span {
+	ctx, cancel := context.WithTimeout(ctx, peerTraceTimeout)
+	defer cancel()
+	var (
+		mu  sync.Mutex
+		out []trace.Span
+		wg  sync.WaitGroup
+	)
+	for _, peer := range s.fabric.Peers() {
+		if peer == s.fabric.Self() {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spans, err := client.New(peer, nil).TraceByID(ctx, tid.String(), true)
+			if err != nil {
+				s.log.Debug("server: peer trace fetch failed", "peer", peer, "trace_id", tid.String(), "error", err)
+				return
+			}
+			mu.Lock()
+			out = append(out, spans...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -764,9 +1010,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleMetrics serves Prometheus text exposition format 0.0.4: every
 // series carries # HELP and # TYPE lines, and the controller's
-// per-campaign gauges are labelled by campaign id and experiment.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+// per-campaign gauges are labelled by campaign id and experiment. A
+// scrape that Accepts application/openmetrics-text gets the
+// OpenMetrics rendering instead, whose latency-histogram buckets carry
+// trace-id exemplars (the classic 0.0.4 parser can't represent
+// exemplars, so they are omitted there).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	if openMetrics {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	}
+	if openMetrics {
+		defer fmt.Fprintln(w, "# EOF")
+	}
+	// Path latency histograms, fed by sampled trace spans: the four
+	// paths that bound campaign wall-clock, each bucket remembering the
+	// trace that last landed in it.
+	for _, h := range trace.PathHistograms() {
+		h.WritePrometheus(w, "radqecd_"+h.Path()+"_seconds", openMetrics)
+	}
 	write := func(name, kind, help string, v any) {
 		fmt.Fprintf(w, "# HELP radqecd_%s %s\n# TYPE radqecd_%s %s\nradqecd_%s %v\n", name, help, name, kind, name, v)
 	}

@@ -9,6 +9,7 @@ import (
 	"radqec/internal/faultinject"
 	"radqec/internal/stats"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 // workerState is the per-worker scratch a pool worker threads through
@@ -67,6 +68,27 @@ type pointRun struct {
 	// checkpoint, so an abort only writes a checkpoint when there is
 	// progress beyond it.
 	ckptShots int
+	// span is the point's open trace span (zero when the campaign is
+	// unsampled); endSpan closes it exactly once on whichever of
+	// finalize/abort/fail retires the point.
+	span trace.ActiveSpan
+}
+
+// endSpan closes the point's trace span, recording total shots and
+// the terminal condition. Safe (and free) when the campaign is
+// unsampled or the span already closed.
+func (pr *pointRun) endSpan(detail string, err error) {
+	if !pr.span.Sampled() {
+		return
+	}
+	pr.cfg.Trace.Recorder().ClearPointSpan(pr.p.Key)
+	pr.span.SetShots(pr.res.Shots)
+	if detail != "" {
+		pr.span.SetDetail(detail)
+	}
+	pr.span.SetError(err)
+	pr.span.End()
+	pr.span = trace.ActiveSpan{}
 }
 
 // begin resolves the cache path and prepares the runner. It returns
@@ -79,6 +101,11 @@ func (pr *pointRun) begin() bool {
 		pr.cache = nil
 	}
 	pr.res = Result{Key: pr.p.Key}
+	pr.span = pr.cfg.Trace.Start(trace.SpanPoint, pr.p.Key)
+	pr.span.SetHash(pr.p.Hash)
+	if pr.span.Sampled() {
+		pr.cfg.Trace.Recorder().SetPointSpan(pr.p.Key, pr.span.Context())
+	}
 	tel := pr.cfg.Telemetry
 	if pr.cache != nil {
 		if cp, ok := pr.cache.Lookup(pr.p.Hash); ok {
@@ -177,8 +204,13 @@ func (pr *pointRun) runChunk(chunk int, ctrl *control.Controller, ws *workerStat
 		alloc0 = ws.allocBytes()
 		t0 = time.Now()
 	}
+	cs := pr.span.Context().Start(trace.SpanChunkRun, pr.p.Key)
 	c := pr.runner(start, n)
 	pr.batchCounts.merge(c)
+	if cs.Sampled() {
+		cs.SetShots(c.Shots)
+		cs.End()
+	}
 	if !observing {
 		return
 	}
@@ -244,8 +276,10 @@ func (pr *pointRun) finishBatch() {
 func (pr *pointRun) abort() {
 	pr.aborted = true
 	if !pr.started || pr.res.Cached {
+		pr.endSpan("aborted", nil)
 		return
 	}
+	pr.endSpan("cancelled at batch boundary", nil)
 	if pr.cache != nil && pr.res.Shots > pr.ckptShots {
 		pr.cache.Checkpoint(pr.p.Hash, pr.res.cachedPoint())
 		pr.ckptShots = pr.res.Shots
@@ -266,8 +300,16 @@ func (pr *pointRun) abort() {
 // legacy runPoint tail.
 func (pr *pointRun) finalize(ws *workerState) {
 	if pr.cache != nil && !pr.res.Cached {
+		cs := pr.span.Context().Start(trace.SpanStoreCommit, pr.p.Key)
+		cs.SetHash(pr.p.Hash)
 		pr.cache.Commit(pr.p.Hash, pr.res.cachedPoint())
+		cs.End()
 	}
+	detail := ""
+	if pr.res.Cached {
+		detail = "cache-hit"
+	}
+	pr.endSpan(detail, nil)
 	pr.res = pr.res.finalize(&ws.scratch)
 }
 

@@ -274,7 +274,7 @@ func (s *Scheduler) worker() {
 func (q *schedQueue) safeTurn(i int, ws *workerState) (done bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &PointError{Key: q.points[i].Key, Value: r, Stack: debug.Stack()}
+			err = &PointError{Key: q.points[i].Key, Hash: q.points[i].Hash, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return q.runTurn(i, ws), nil
@@ -360,6 +360,7 @@ func (s *Scheduler) fail(q *schedQueue, i int, err error) {
 	s.mu.Unlock()
 	q.cancel(err)
 	q.runs[i].aborted = true
+	q.runs[i].endSpan("panic", err)
 	s.complete(q, i)
 }
 

@@ -23,6 +23,7 @@ import (
 	"radqec/internal/control"
 	"radqec/internal/stats"
 	"radqec/internal/telemetry"
+	"radqec/internal/trace"
 )
 
 // Counts accumulates the shot outcomes of one point.
@@ -146,6 +147,12 @@ type Mechanism struct {
 	// Telemetry, when set, receives a Signal for every engine invocation
 	// plus batch, point and cache counters. Strictly observational.
 	Telemetry *telemetry.Campaign
+	// Trace, when sampled, is the campaign's root span context: every
+	// point records point/chunk-run/store-commit spans under it. The
+	// zero value (sampling off) keeps the hot path at a single pointer
+	// test — tracing, like Telemetry, is pure Mechanism and never
+	// reaches a Result.
+	Trace trace.SpanContext
 }
 
 // Config pairs a sweep's policy with its mechanism. The split is the
@@ -299,6 +306,9 @@ func WorstCaseShots(ci float64) int {
 type PointError struct {
 	// Key is the sweep point whose turn panicked.
 	Key string
+	// Hash is the point's content hash, empty for unhashed points —
+	// carried so crash reports correlate with store and fabric state.
+	Hash string
 	// Value is the recovered panic value.
 	Value any
 	// Stack is the panicking goroutine's stack trace.

@@ -17,7 +17,12 @@
 #      takeovers fired on a healthy ring
 #   4. warm re-submission to peer B replays entirely from its store
 #      (fetched + owned results): zero new engine work anywhere
-#   5. SIGTERM both daemons and require clean exits
+#   5. submit a fresh sampled campaign to peer A and assert the
+#      distributed trace stitches: one trace ID, spans from both peers,
+#      at least one remote-fetch span, the same trace retrievable from
+#      peer B by trace ID, and a Perfetto-loadable ?format=chrome
+#      export (written to $TRACE_CHROME_OUT when set, for CI artifacts)
+#   6. SIGTERM both daemons and require clean exits
 #
 # Builds into BIN_DIR (default: a temp dir). Needs python3 and curl.
 set -euo pipefail
@@ -176,6 +181,61 @@ if [[ "$computed_a2" != "$computed_a" || "$computed_b2" != "$computed_b" ]]; the
   exit 1
 fi
 echo "fabric_smoke: warm replay on peer B was a full cache hit"
+
+echo "== sampled campaign: distributed trace must stitch across the ring"
+# A fresh seed forces real sharded work (the smoke seed is fully cached
+# by now), so the trace contains computation on both peers and at least
+# one cross-node result fetch.
+"$bindir/smokeclient" -addr "$addr_a" -experiment "$EXPERIMENT" -shots "$SHOTS" \
+  -seed $((SEED + 1000)) -trace-sample on \
+  >/dev/null 2>"$workdir/traced.stderr"
+cid=$(awk '/smokeclient: campaign /{print $3}' "$workdir/traced.stderr")
+tid=$(awk '/smokeclient: trace /{print $3}' "$workdir/traced.stderr")
+if [[ -z "$cid" || -z "$tid" ]]; then
+  echo "fabric_smoke: sampled run reported no campaign/trace id" >&2
+  cat "$workdir/traced.stderr" >&2
+  exit 1
+fi
+echo "fabric_smoke: campaign $cid trace $tid"
+# Settle again: peer B's half of the trace finishes a beat after A's stream.
+for _ in $(seq 1 100); do
+  active=$(( $(metric "$addr_a" campaigns_active) + $(metric "$addr_b" campaigns_active) ))
+  if [[ "$active" == "0" ]]; then break; fi
+  sleep 0.1
+done
+curl -fsS "http://$addr_a/v1/campaigns/$cid/trace" >"$workdir/trace-a.ndjson"
+curl -fsS "http://$addr_b/v1/traces/$tid" >"$workdir/trace-b.ndjson"
+chrome_out=${TRACE_CHROME_OUT:-$workdir/trace.chrome.json}
+curl -fsS "http://$addr_a/v1/campaigns/$cid/trace?format=chrome" >"$chrome_out"
+python3 - "$workdir" "$tid" "$addr_a" "$addr_b" "$chrome_out" <<'EOF'
+import json, sys
+workdir, tid, addr_a, addr_b, chrome_out = sys.argv[1:6]
+
+def load(path):
+    return [json.loads(l) for l in open(path) if l.strip()]
+
+spans = load(f"{workdir}/trace-a.ndjson")
+if not spans:
+    sys.exit("peer A returned an empty trace")
+ids = {s["trace_id"] for s in spans}
+if ids != {tid}:
+    sys.exit(f"trace from peer A is not a single stitched trace: ids {sorted(ids)}, want {{{tid}}}")
+nodes = {s["node"] for s in spans}
+if not {addr_a, addr_b} <= nodes:
+    sys.exit(f"stitched trace has spans from {sorted(nodes)}, want both {addr_a} and {addr_b}")
+fetches = [s for s in spans if s["name"] == "remote-fetch"]
+if not fetches:
+    sys.exit("stitched trace has no remote-fetch span")
+spans_b = load(f"{workdir}/trace-b.ndjson")
+if {s["span_id"] for s in spans_b} != {s["span_id"] for s in spans}:
+    sys.exit(f"peer B stitched {len(spans_b)} spans, peer A {len(spans)}: the two views differ")
+chrome = json.load(open(chrome_out))
+if not chrome.get("traceEvents"):
+    sys.exit("chrome export has no traceEvents")
+print(f"{len(spans)} spans from {len(nodes)} nodes, "
+      f"{len(fetches)} remote fetches, {len(chrome['traceEvents'])} chrome events")
+EOF
+echo "fabric_smoke: stitched trace verified from both peers (chrome export: $chrome_out)"
 
 echo "== graceful shutdown"
 for pid in "$pid_a" "$pid_b"; do

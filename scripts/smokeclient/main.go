@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	smokeclient -addr HOST:PORT -experiment NAME [-shots N] [-seed N]
+//	smokeclient -addr HOST:PORT -experiment NAME [-shots N] [-seed N] [-trace-sample on|off]
+//
+// With -trace-sample on the campaign is submitted sampled and the
+// daemon-assigned trace ID is echoed to stderr as
+// "smokeclient: trace <id>", for harnesses to scrape and replay
+// against the trace endpoints.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment to run (required)")
 	shots := flag.Int("shots", 0, "shots per point (0 = daemon default)")
 	seedV := flag.Uint64("seed", 1, "base RNG seed")
+	traceSample := flag.String("trace-sample", "", "trace sampling for this campaign: on, off, or empty (daemon default)")
 	flag.Parse()
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "smokeclient: -experiment is required")
@@ -36,9 +42,10 @@ func main() {
 	cl := client.New(*addr, nil)
 	seed := *seedV
 	stream, err := cl.SubmitCampaign(context.Background(), client.CampaignRequest{
-		Experiment: *experiment,
-		Shots:      *shots,
-		Seed:       &seed,
+		Experiment:  *experiment,
+		Shots:       *shots,
+		Seed:        &seed,
+		TraceSample: *traceSample,
 	}, client.SubmitOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smokeclient:", err)
@@ -46,6 +53,9 @@ func main() {
 	}
 	defer stream.Close()
 	fmt.Fprintf(os.Stderr, "smokeclient: campaign %d\n", stream.ID)
+	if stream.TraceID != "" {
+		fmt.Fprintf(os.Stderr, "smokeclient: trace %s\n", stream.TraceID)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	failed := false
